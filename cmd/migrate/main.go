@@ -1,0 +1,39 @@
+// Command migrate runs the paper's two migration timelines (Fig. 20/21)
+// side by side and prints the per-half-second goodput series plus the
+// downtime summary, demonstrating DNIS (§4.4, §6.7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sriov "repro"
+)
+
+func main() {
+	which := flag.String("mode", "both", "pv | dnis | both")
+	flag.Parse()
+
+	run := func(id, name string) bool {
+		fmt.Printf("==== %s ====\n", name)
+		f, err := sriov.RunExperiment(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return false
+		}
+		fmt.Println(f.Markdown())
+		return f.AllChecksPass()
+	}
+
+	ok := true
+	if *which == "pv" || *which == "both" {
+		ok = run("fig20", "PV network driver migration") && ok
+	}
+	if *which == "dnis" || *which == "both" {
+		ok = run("fig21", "SR-IOV + DNIS migration") && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

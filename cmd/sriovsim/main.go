@@ -1,0 +1,69 @@
+// Command sriovsim reproduces the paper's evaluation figures.
+//
+// Usage:
+//
+//	sriovsim -fig 12          # reproduce one figure and print the report
+//	sriovsim -all             # reproduce everything (EXPERIMENTS.md content)
+//	sriovsim -list            # list available experiments
+//
+// Exit status is non-zero if any shape check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	sriov "repro"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to reproduce (e.g. 12 or fig12)")
+	all := flag.Bool("all", false, "reproduce every figure")
+	list := flag.Bool("list", false, "list available experiments")
+	csv := flag.Bool("csv", false, "emit the measured series as CSV instead of the report")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, s := range sriov.Experiments() {
+			fmt.Printf("%-8s %s\n", s.ID, s.Title)
+		}
+	case *all:
+		failed := 0
+		for _, s := range sriov.Experiments() {
+			fmt.Fprintf(os.Stderr, "running %s...\n", s.ID)
+			f := s.Run()
+			fmt.Println(f.Markdown())
+			if !f.AllChecksPass() {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "%d figure(s) had failing shape checks\n", failed)
+			os.Exit(1)
+		}
+	case *fig != "":
+		id := *fig
+		if _, err := strconv.Atoi(id); err == nil {
+			id = fmt.Sprintf("fig%02s", id)
+		}
+		f, err := sriov.RunExperiment(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *csv {
+			fmt.Print(f.CSV())
+		} else {
+			fmt.Println(f.Markdown())
+		}
+		if !f.AllChecksPass() {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,59 @@
+// Coalescing: the §5.3 trade-off. Compare the four interrupt-moderation
+// policies of Figs. 8–9 — 20 kHz low-latency, the 2 kHz VF-driver default,
+// the paper's adaptive interrupt coalescing (AIC, eq. (3)), and a fixed
+// 1 kHz that is too slow for TCP — for both UDP_STREAM and TCP_STREAM.
+package main
+
+import (
+	"fmt"
+
+	sriov "repro"
+)
+
+func policies() []sriov.ITRPolicy {
+	return []sriov.ITRPolicy{
+		sriov.FixedITR(20000),
+		sriov.FixedITR(2000),
+		sriov.DefaultAIC(),
+		sriov.FixedITR(1000),
+	}
+}
+
+func main() {
+	fmt.Println("Interrupt coalescing policies, one HVM guest at 1 GbE (§5.3)")
+
+	fmt.Println("\nUDP_STREAM:")
+	fmt.Printf("  %-8s  %10s  %10s  %12s  %12s  %12s\n", "policy", "goodput", "CPU", "sock-drops", "lat-mean", "lat-p99")
+	for _, p := range policies() {
+		tb := sriov.NewTestbed(sriov.Config{Ports: 1, Opts: sriov.AllOptimizations})
+		g, err := tb.AddSRIOVGuest("guest-1", sriov.HVM, sriov.Kernel2628, 0, 0, p)
+		if err != nil {
+			panic(err)
+		}
+		tb.StartUDP(g, sriov.LineRateUDP)
+		util, results := tb.Measure(1500*sriov.Millisecond, sriov.Window)
+		tb.StopAll()
+		r := results[g]
+		fmt.Printf("  %-8s  %10v  %9.1f%%  %12d  %12v  %12v\n",
+			p, r.Goodput, util.Guests+util.Xen, r.SockDropped,
+			g.Recv.Latency.Mean(), g.Recv.Latency.Quantile(0.99))
+	}
+
+	fmt.Println("\nTCP_STREAM (rate from the window/RTT + overflow equilibrium):")
+	fmt.Printf("  %-8s  %10s  %10s\n", "policy", "goodput", "CPU")
+	for _, p := range policies() {
+		tb := sriov.NewTestbed(sriov.Config{Ports: 1, Opts: sriov.AllOptimizations})
+		g, err := tb.AddSRIOVGuest("guest-1", sriov.HVM, sriov.Kernel2628, 0, 0, p)
+		if err != nil {
+			panic(err)
+		}
+		tb.StartTCP(g, p)
+		util, results := tb.Measure(1500*sriov.Millisecond, sriov.Window)
+		tb.StopAll()
+		fmt.Printf("  %-8s  %10v  %9.1f%%\n", p, results[g].Goodput, util.Guests+util.Xen)
+	}
+	fmt.Println("\nNote the fixed 1 kHz row: UDP loses packets at the socket and TCP")
+	fmt.Println("backs off ≈9.6% — while AIC matches 2 kHz throughput at less CPU.")
+	fmt.Println("The latency columns show the other side of the trade-off: 20 kHz")
+	fmt.Println("delivers in tens of microseconds, 1 kHz in high hundreds.")
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/netstack"
+	"repro/internal/units"
+	"repro/internal/vmm"
+)
+
+func TestTestbedConstruction(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 10, Opts: vmm.AllOptimizations})
+	if len(tb.Ports) != 10 || len(tb.PFs) != 10 {
+		t.Fatalf("ports = %d", len(tb.Ports))
+	}
+	// Every port's VFs are enabled.
+	for _, p := range tb.Ports {
+		for i := 0; i < p.NumVFs(); i++ {
+			if !p.VFQueue(i).Function().Config().Present() {
+				t.Fatalf("%s VF %d not enabled", p.Name(), i)
+			}
+		}
+	}
+	// The fabric holds 10 PFs + 70 VFs.
+	if got := len(tb.Fabric.Functions()); got != 80 {
+		t.Fatalf("functions = %d, want 80", got)
+	}
+	if tb.VMDq != nil {
+		t.Fatal("VMDq should be off by default")
+	}
+}
+
+func TestAddSRIOVGuestEndToEnd(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 1, Opts: vmm.AllOptimizations})
+	g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.Kernel2628, 0, 0, netstack.FixedITR(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.StartUDP(g, model.LineRateUDP)
+	u, res := tb.Measure(100*units.Millisecond, units.Second)
+	tb.StopAll()
+	r := res[g]
+	if r.Goodput.Mbps() < 950 {
+		t.Fatalf("goodput = %v", r.Goodput)
+	}
+	if u.PerGuest["guest-1"] <= 0 || u.Xen <= 0 {
+		t.Fatalf("utilization = %+v", u)
+	}
+	// Optimized SR-IOV leaves dom0 near its baseline.
+	if u.Dom0 > 6 {
+		t.Fatalf("dom0 = %v, want ≈3%%", u.Dom0)
+	}
+}
+
+func TestAddPVGuestEndToEnd(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 1, Opts: vmm.AllOptimizations})
+	g, err := tb.AddPVGuest("guest-1", vmm.PVM, vmm.Kernel2628, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.StartUDP(g, model.LineRateUDP)
+	u, res := tb.Measure(100*units.Millisecond, units.Second)
+	tb.StopAll()
+	if res[g].Goodput.Mbps() < 900 {
+		t.Fatalf("goodput = %v", res[g].Goodput)
+	}
+	// PV pays with dom0 CPU.
+	if u.Dom0 < 10 {
+		t.Fatalf("dom0 = %v, want copy cost", u.Dom0)
+	}
+}
+
+func TestAddVMDqGuestRequiresBridge(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 1})
+	if _, err := tb.AddVMDqGuest("g", vmm.PVM, vmm.Kernel2628, 0); err == nil {
+		t.Fatal("VMDq guest without bridge should fail")
+	}
+	tb2 := NewTestbed(Config{Ports: 1, VMDqThreads: 4, PortRate: model.VMDqRate})
+	if _, err := tb2.AddVMDqGuest("g", vmm.PVM, vmm.Kernel2628, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddBondedGuest(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 1, Opts: vmm.AllOptimizations})
+	g, err := tb.AddBondedGuest("guest-1", vmm.HVM, vmm.Kernel2628, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bond == nil || g.VF == nil || g.PV == nil {
+		t.Fatal("bond pieces missing")
+	}
+	if !g.Bond.ActiveVF() {
+		t.Fatal("VF should start active")
+	}
+	tb.StartUDP(g, model.LineRateUDP)
+	_, res := tb.Measure(50*units.Millisecond, 500*units.Millisecond)
+	tb.StopAll()
+	if res[g].Goodput.Mbps() < 940 {
+		t.Fatalf("bonded goodput = %v", res[g].Goodput)
+	}
+}
+
+func TestBadPortRejected(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 1})
+	if _, err := tb.AddSRIOVGuest("g", vmm.HVM, vmm.Kernel2628, 5, 0, nil); err == nil {
+		t.Fatal("bad port should fail")
+	}
+	if _, err := tb.AddPVGuest("g", vmm.PVM, vmm.Kernel2628, 5); err == nil {
+		t.Fatal("bad port should fail")
+	}
+}
+
+func TestSixtyGuestsFitMemory(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 10, Opts: vmm.AllOptimizations})
+	for i := 0; i < 60; i++ {
+		port := i % 10
+		vf := i / 10
+		if _, err := tb.AddSRIOVGuest("g", vmm.HVM, vmm.Kernel2628, port, vf, nil); err != nil {
+			t.Fatalf("guest %d: %v", i, err)
+		}
+	}
+	if len(tb.Guests()) != 60 {
+		t.Fatal("guest count")
+	}
+}
+
+func TestNativeBaselineGuest(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 1})
+	g, err := tb.AddSRIOVGuest("native", vmm.Native, vmm.Kernel2628, 0, 0, netstack.FixedITR(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.StartUDP(g, model.LineRateUDP)
+	u, res := tb.Measure(100*units.Millisecond, units.Second)
+	tb.StopAll()
+	if res[g].Goodput.Mbps() < 950 {
+		t.Fatalf("native goodput = %v", res[g].Goodput)
+	}
+	if u.Xen != 0 {
+		t.Fatalf("native run charged xen: %v", u.Xen)
+	}
+}
+
+func TestAggregateGoodput(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 2, Opts: vmm.AllOptimizations})
+	g1, _ := tb.AddSRIOVGuest("g1", vmm.HVM, vmm.Kernel2628, 0, 0, nil)
+	g2, _ := tb.AddSRIOVGuest("g2", vmm.HVM, vmm.Kernel2628, 1, 0, nil)
+	tb.StartUDP(g1, model.LineRateUDP)
+	tb.StartUDP(g2, model.LineRateUDP)
+	_, res := tb.Measure(100*units.Millisecond, units.Second)
+	tb.StopAll()
+	agg := AggregateGoodput(res)
+	if agg.Gbps() < 1.89 || agg.Gbps() > 1.95 {
+		t.Fatalf("aggregate = %v, want ≈1.91 Gbps", agg)
+	}
+}
+
+func TestStartTCPEquilibrium(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 1, Opts: vmm.AllOptimizations})
+	g, err := tb.AddSRIOVGuest("g", vmm.HVM, vmm.Kernel2628, 0, 0, netstack.FixedITR(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := tb.StartTCP(g, netstack.FixedITR(2000))
+	if rate.Mbps() < 930 {
+		t.Fatalf("TCP equilibrium = %v", rate)
+	}
+	_, res := tb.Measure(100*units.Millisecond, 500*units.Millisecond)
+	tb.StopAll()
+	if res[g].Goodput.Mbps() < 920 {
+		t.Fatalf("TCP goodput = %v", res[g].Goodput)
+	}
+}
+
+func TestReattachVF(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 1, Opts: vmm.AllOptimizations})
+	g, err := tb.AddBondedGuest("g", vmm.HVM, vmm.Kernel2628, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := g.VF
+	old.Detach()
+	tb.Eng.RunUntil(units.Time(5 * units.Millisecond))
+	vf, err := tb.ReattachVF(g, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vf == old || !vf.Attached() {
+		t.Fatal("reattach should produce a fresh live driver")
+	}
+	if g.VF != vf {
+		t.Fatal("guest should track the new driver")
+	}
+}
+
+func TestDescribeTopology(t *testing.T) {
+	tb := NewTestbed(Config{Ports: 2})
+	out := tb.Describe()
+	for _, want := range []string{"root complex", "eth0@", "eth1@", "vf0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Describe missing %q", want)
+		}
+	}
+	if tb.Config().Ports != 2 {
+		t.Fatal("Config accessor")
+	}
+}
+
+func TestFivePortTestbedUsesTwoCards(t *testing.T) {
+	// 5 ports → a 4-port card and a 1-port remainder on a second switch.
+	tb := NewTestbed(Config{Ports: 5})
+	if len(tb.Ports) != 5 {
+		t.Fatalf("ports = %d", len(tb.Ports))
+	}
+	sw0 := tb.Ports[0].PF().Port().Switch()
+	sw4 := tb.Ports[4].PF().Port().Switch()
+	if sw0 == sw4 {
+		t.Fatal("port 4 should be on a second card/switch")
+	}
+}
+
+func TestLongRunStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-run stability skipped in -short mode")
+	}
+	// 20 guests at aggregate line rate for 8 simulated seconds: goodput
+	// per second must stay flat (no drift, no leak-driven slowdown) and
+	// the event queue must not grow without bound.
+	tb := NewTestbed(Config{Ports: 10, Opts: vmm.AllOptimizations})
+	for i := 0; i < 20; i++ {
+		g, err := tb.AddSRIOVGuest("g", vmm.HVM, vmm.Kernel2628, i%10, i/10, netstack.DefaultAIC())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.StartUDP(g, units.BitRate(float64(model.LineRateUDP)/2))
+	}
+	var perSecond []float64
+	var lastBytes units.Size
+	for s := 1; s <= 8; s++ {
+		tb.Eng.RunUntil(units.Time(int64(s) * int64(units.Second)))
+		var total units.Size
+		for _, g := range tb.Guests() {
+			total += g.Recv.Stats.AppBytes
+		}
+		perSecond = append(perSecond, float64(total-lastBytes))
+		lastBytes = total
+	}
+	tb.StopAll()
+	// Seconds 2..8 (post-warmup) within 2% of each other.
+	base := perSecond[1]
+	for i, v := range perSecond[1:] {
+		if v < base*0.98 || v > base*1.02 {
+			t.Fatalf("second %d drifted: %v vs base %v (all: %v)", i+2, v, base, perSecond)
+		}
+	}
+	if pending := tb.Eng.Pending(); pending > 2000 {
+		t.Fatalf("event queue grew to %d pending events", pending)
+	}
+}

@@ -1,0 +1,245 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+var testSys = System{Threads: 16, Freq: 2800 * units.MHz}
+
+func TestMeterUtilization(t *testing.T) {
+	m := NewMeter(testSys)
+	m.ResetWindow(0)
+	// Charge half a thread-second of cycles over one second.
+	m.Charge(Account{"dom0", "devicemodel"}, testSys.Freq.CyclesIn(500*units.Millisecond))
+	now := units.Time(units.Second)
+	if got := m.Utilization("dom0", now); got < 49.9 || got > 50.1 {
+		t.Fatalf("utilization = %v, want 50", got)
+	}
+	if got := m.TotalUtilization(now); got < 49.9 || got > 50.1 {
+		t.Fatalf("total = %v", got)
+	}
+	if got := m.Utilization("guest-0", now); got != 0 {
+		t.Fatalf("unknown domain = %v, want 0", got)
+	}
+}
+
+func TestMeterBreakdownByDomain(t *testing.T) {
+	m := NewMeter(testSys)
+	m.ResetWindow(0)
+	m.Charge(Account{"dom0", "a"}, 100)
+	m.Charge(Account{"dom0", "b"}, 200)
+	m.Charge(Account{"xen", "c"}, 50)
+	if m.DomainCycles("dom0") != 300 {
+		t.Fatalf("dom0 cycles = %d", m.DomainCycles("dom0"))
+	}
+	if m.TotalCycles() != 350 {
+		t.Fatalf("total = %d", m.TotalCycles())
+	}
+	d := m.Domains()
+	if len(d) != 2 || d[0] != "dom0" || d[1] != "xen" {
+		t.Fatalf("domains = %v", d)
+	}
+	accts := m.Accounts()
+	if len(accts) != 3 || accts[0] != (Account{"dom0", "a"}) {
+		t.Fatalf("accounts = %v", accts)
+	}
+}
+
+func TestMeterResetWindow(t *testing.T) {
+	m := NewMeter(testSys)
+	m.Charge(Account{"dom0", "a"}, 100)
+	m.ResetWindow(units.Time(units.Second))
+	if m.TotalCycles() != 0 {
+		t.Fatal("reset should clear cycles")
+	}
+	if m.WindowStart() != units.Time(units.Second) {
+		t.Fatal("window start not recorded")
+	}
+	// Utilization with zero elapsed is zero, not NaN.
+	if got := m.TotalUtilization(units.Time(units.Second)); got != 0 {
+		t.Fatalf("zero window utilization = %v", got)
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	m := NewMeter(testSys)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative charge should panic")
+		}
+	}()
+	m.Charge(Account{"x", "y"}, -1)
+}
+
+func TestSystemCapacity(t *testing.T) {
+	got := testSys.Capacity(units.Second)
+	want := units.Cycles(16 * 2_800_000_000)
+	if got != want {
+		t.Fatalf("capacity = %d, want %d", got, want)
+	}
+}
+
+func TestWorkerServesFIFO(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMeter(testSys)
+	w := NewWorker(eng, m, Account{"dom0", "netback"}, 0)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		w.Submit(Job{Cost: 2800, Run: func() { order = append(order, i) }}) // 1 µs each
+	}
+	eng.Run()
+	if len(order) != 3 || order[0] != 0 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	// 3 jobs × 1 µs serial.
+	if eng.Now() != units.Time(3*units.Microsecond) {
+		t.Fatalf("finished at %v, want 3µs", eng.Now())
+	}
+	if m.Cycles(Account{"dom0", "netback"}) != 3*2800 {
+		t.Fatal("cycles not charged")
+	}
+	if w.Served != 3 {
+		t.Fatalf("served = %d", w.Served)
+	}
+}
+
+func TestWorkerQueueCap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMeter(testSys)
+	w := NewWorker(eng, m, Account{"dom0", "netback"}, 2)
+	ok := 0
+	for i := 0; i < 5; i++ {
+		if w.Submit(Job{Cost: 2800}) {
+			ok++
+		}
+	}
+	// First starts service immediately, two queue, rest rejected.
+	if ok != 3 {
+		t.Fatalf("accepted = %d, want 3", ok)
+	}
+	if w.Rejected != 2 {
+		t.Fatalf("rejected = %d, want 2", w.Rejected)
+	}
+	eng.Run()
+	if w.Served != 3 {
+		t.Fatalf("served = %d, want 3", w.Served)
+	}
+}
+
+func TestWorkerSaturation(t *testing.T) {
+	// A worker offered more than 1 thread of work stays ~100% utilized.
+	eng := sim.NewEngine(1)
+	m := NewMeter(testSys)
+	m.ResetWindow(0)
+	w := NewWorker(eng, m, Account{"dom0", "copy"}, 0)
+	// Submit 2 thread-seconds of work.
+	perJob := testSys.Freq.CyclesIn(units.Millisecond)
+	for i := 0; i < 2000; i++ {
+		w.Submit(Job{Cost: perJob})
+	}
+	end := eng.RunUntil(units.Time(units.Second))
+	util := m.Utilization("dom0", end)
+	if util < 99 || util > 101 {
+		t.Fatalf("saturated worker utilization = %v, want ~100", util)
+	}
+}
+
+func TestPoolSpreadsLoad(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMeter(testSys)
+	m.ResetWindow(0)
+	p := NewPool(eng, m, Account{"dom0", "netback"}, 4, 0)
+	perJob := testSys.Freq.CyclesIn(units.Millisecond)
+	// 3 thread-seconds of work across 4 workers in 1 second: ~75% each.
+	for i := 0; i < 3000; i++ {
+		p.Submit(Job{Cost: perJob})
+	}
+	end := eng.RunUntil(units.Time(units.Second))
+	util := m.Utilization("dom0", end)
+	if util < 295 || util > 305 {
+		t.Fatalf("pool utilization = %v, want ~300", util)
+	}
+	if p.Served() != 3000 {
+		t.Fatalf("served = %d", p.Served())
+	}
+	if p.Rejected() != 0 {
+		t.Fatalf("rejected = %d", p.Rejected())
+	}
+}
+
+func TestPoolBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-size pool should panic")
+		}
+	}()
+	NewPool(sim.NewEngine(1), NewMeter(testSys), Account{"a", "b"}, 0, 0)
+}
+
+func TestUtilizationAdditiveProperty(t *testing.T) {
+	// Utilization of the total equals the sum of per-domain utilizations.
+	prop := func(raw []uint16) bool {
+		m := NewMeter(testSys)
+		m.ResetWindow(0)
+		domains := []string{"dom0", "xen", "guest-1", "guest-2"}
+		for i, r := range raw {
+			m.Charge(Account{domains[i%len(domains)], "w"}, units.Cycles(r)*1000)
+		}
+		now := units.Time(units.Second)
+		var sum float64
+		for _, d := range m.Domains() {
+			sum += m.Utilization(d, now)
+		}
+		diff := sum - m.TotalUtilization(now)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoryUtilizationAndBreakdown(t *testing.T) {
+	m := NewMeter(testSys)
+	m.ResetWindow(0)
+	a := Account{"dom0", "netback"}
+	m.Charge(a, testSys.Freq.CyclesIn(250*units.Millisecond))
+	now := units.Time(units.Second)
+	if got := m.CategoryUtilization(a, now); got < 24.9 || got > 25.1 {
+		t.Fatalf("category utilization = %v", got)
+	}
+	out := m.Breakdown(now)
+	if !strings.Contains(out, "dom0=") || !strings.Contains(out, "total=") {
+		t.Fatalf("breakdown = %q", out)
+	}
+	if a.String() != "dom0/netback" {
+		t.Fatalf("account string = %q", a.String())
+	}
+}
+
+func TestPoolQueuedJobs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMeter(testSys)
+	p := NewPool(eng, m, Account{"dom0", "w"}, 2, 0)
+	if p.QueuedJobs() != 0 {
+		t.Fatal("fresh pool should be empty")
+	}
+	for i := 0; i < 5; i++ {
+		p.Submit(Job{Cost: testSys.Freq.CyclesIn(units.Millisecond)})
+	}
+	if got := p.QueuedJobs(); got != 5 {
+		t.Fatalf("queued = %d, want 5 (2 busy + 3 waiting)", got)
+	}
+	eng.Run()
+	if p.QueuedJobs() != 0 {
+		t.Fatal("pool should drain")
+	}
+}

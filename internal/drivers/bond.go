@@ -1,0 +1,96 @@
+package drivers
+
+import (
+	"repro/internal/nic"
+	"repro/internal/units"
+	"repro/internal/vmm"
+)
+
+// Bond is an active-backup bonding driver aggregating a VF interface and a
+// PV NIC, the DNIS construction of §4.4: "DNIS aggregates the VF driver
+// with a software emulated virtual NIC driver ... It activates the VF
+// driver at run time for performance, but switches to PV NIC driver at
+// migration time."
+//
+// Ingress models the wire side: traffic addressed to the bond follows the
+// active slave's MAC. Failing over loses packets for the switch window
+// (§6.7 measures 0.6 s), after which the standby carries the traffic.
+type Bond struct {
+	hv  *vmm.Hypervisor
+	dom *vmm.Domain
+
+	vf     *VFDriver
+	pv     *PVNic
+	pvPort *nic.Port // port whose PF queue feeds the PV path
+
+	activeVF    bool
+	outageUntil units.Time
+
+	// DroppedInOutage counts packets lost during interface switches.
+	DroppedInOutage int64
+	// Failovers counts slave switches.
+	Failovers int64
+}
+
+// NewBond aggregates the two slaves, VF active.
+func NewBond(hv *vmm.Hypervisor, dom *vmm.Domain, vf *VFDriver, pv *PVNic, pvPort *nic.Port) *Bond {
+	return &Bond{hv: hv, dom: dom, vf: vf, pv: pv, pvPort: pvPort, activeVF: true}
+}
+
+// ActiveVF reports whether the VF slave is active.
+func (b *Bond) ActiveVF() bool { return b.activeVF && b.vf != nil && b.vf.Attached() }
+
+// VF reports the VF slave (nil after hot removal).
+func (b *Bond) VF() *VFDriver { return b.vf }
+
+// PV reports the PV slave.
+func (b *Bond) PV() *PVNic { return b.pv }
+
+// Ingress is the wire-side entry: the client's traffic toward the bonded
+// interface. During an interface switch the packets are lost; otherwise
+// they follow the active slave.
+func (b *Bond) Ingress(count int, bytes units.Size) {
+	now := b.hv.Engine().Now()
+	if now < b.outageUntil {
+		b.DroppedInOutage += int64(count)
+		return
+	}
+	if b.ActiveVF() {
+		b.vf.port.ReceiveFromWire(nic.Batch{Dst: b.vf.MAC(), Count: count, Bytes: bytes})
+		return
+	}
+	b.pvPort.ReceiveFromWire(nic.Batch{Dst: b.pv.MAC(), Count: count, Bytes: bytes})
+}
+
+// FailoverToPV switches the active slave to the PV NIC, losing traffic for
+// the outage window — the first step of DNIS migration, triggered by the
+// virtual hot-removal event.
+func (b *Bond) FailoverToPV(outage units.Duration) {
+	if !b.activeVF {
+		return
+	}
+	b.activeVF = false
+	b.Failovers++
+	b.outageUntil = b.hv.Engine().Now().Add(outage)
+	b.hv.ChargeGuest(b.dom, "bonding", 40000) // slave switch, gratuitous ARP
+}
+
+// DetachVF finishes the hot removal: the guest shuts the VF driver down
+// ("the guest OS shuts down the VF driver instance, in response to the hot
+// removal event, to eliminate hardware stickiness").
+func (b *Bond) DetachVF() {
+	if b.vf != nil {
+		b.vf.Detach()
+		b.vf = nil
+	}
+}
+
+// ActivateVF installs a (new) VF slave and makes it active — the hot
+// add-on at the target platform. The brief switch-back outage is much
+// smaller than failover and modeled as zero.
+func (b *Bond) ActivateVF(vf *VFDriver) {
+	b.vf = vf
+	b.activeVF = true
+	b.Failovers++
+	b.hv.ChargeGuest(b.dom, "bonding", 40000)
+}

@@ -1,0 +1,279 @@
+package drivers
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/interrupts"
+	"repro/internal/model"
+	"repro/internal/netstack"
+	"repro/internal/nic"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/vmm"
+)
+
+// VFDriver is the guest's virtual-function driver (the paper's igbvf-class
+// driver, "VF driver version 0.9.5"). Its ISR implements the §5 critical
+// path: optional MSI mask (2.6.18 kernels), NAPI drain, stack delivery,
+// non-EOI APIC traffic, EOI, optional unmask. Its coalescing policy
+// programs the VF's EITR, including the paper's AIC (§5.3).
+type VFDriver struct {
+	hv   *vmm.Hypervisor
+	dom  *vmm.Domain
+	port *nic.Port
+	vf   int
+
+	queue   *nic.Queue
+	recv    *guest.NetReceiver
+	binding *vmm.MSIBinding
+	policy  netstack.ITRPolicy
+	sampler *sim.Ticker
+
+	mac      nic.MAC
+	attached bool
+	vconfig  *vmm.VirtualConfig
+
+	// samplePkts counts packets drained from the ring since the last AIC
+	// sample — the driver-level pps observation of eq. (3), taken before
+	// any socket-layer drops.
+	samplePkts int64
+
+	// MACConfirmed reflects mailbox acknowledgment from the PF driver.
+	MACConfirmed bool
+	// PFEvents counts PF→VF notifications received.
+	PFEvents int64
+}
+
+// VFConfig parameterizes driver attach.
+type VFConfig struct {
+	MAC    nic.MAC
+	Policy netstack.ITRPolicy // nil → the VF driver default (fixed 2 kHz)
+}
+
+// AttachVFDriver initializes the VF driver in dom against VF index vf of
+// port. The VF must already be enabled by the PF driver and assigned to the
+// domain (IOMMU context bound) by the host.
+func AttachVFDriver(hv *vmm.Hypervisor, dom *vmm.Domain, port *nic.Port, vf int, recv *guest.NetReceiver, cfg VFConfig) (*VFDriver, error) {
+	if vf < 0 || vf >= port.NumVFs() {
+		return nil, fmt.Errorf("drivers: no VF %d on %s", vf, port.Name())
+	}
+	q := port.VFQueue(vf)
+	fn := q.Function()
+	if !fn.Config().Present() {
+		return nil, fmt.Errorf("drivers: VF %d of %s not enabled", vf, port.Name())
+	}
+	if !hv.IOMMU().Attached(uint16(fn.RID())) {
+		return nil, fmt.Errorf("drivers: VF %d of %s not assigned to a domain", vf, port.Name())
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = netstack.FixedITR(model.DefaultITRHz)
+	}
+	d := &VFDriver{
+		hv: hv, dom: dom, port: port, vf: vf,
+		queue: q, recv: recv, policy: cfg.Policy, mac: cfg.MAC,
+	}
+
+	// Driver probe: the guest enumerates the virtual config space IOVM
+	// presents (§4.1), finds the MSI capability and enables it — every
+	// access below is mediated (and charged) by the IOVM.
+	vc, err := hv.IOVMgr().Expose(dom, fn)
+	if err != nil {
+		return nil, err
+	}
+	d.vconfig = vc
+	if vid := vc.Read16(pcie.RegVendorID); vid != 0x8086 {
+		return nil, fmt.Errorf("drivers: unexpected vendor %#04x", vid)
+	}
+	vc.Write16(pcie.RegCommand, pcie.CmdMemSpace|pcie.CmdBusMaster)
+	if msiOff := vc.FindCapability(pcie.CapIDMSI); msiOff != 0 {
+		// Enable MSI through the mediated space.
+		ctl := vc.Read16(msiOff + 2)
+		vc.Write16(msiOff+2, ctl|pcie.MSICtlEnable)
+	}
+
+	// Device init through BAR registers, as igbvf would: reset, ring
+	// length, then the throttle below. BAR0 is direct-mapped into the
+	// guest, so these writes cost no VMM intervention.
+	q.InstallRegisters()
+	hv.GuestMMIOWrite(dom, fn, 0, nic.RegCTRL, nic.CtrlReset)
+	hv.GuestMMIOWrite(dom, fn, 0, nic.RegRDLEN0, uint64(model.RxRingEntries))
+
+	binding, err := hv.BindGuestMSIFromRID(dom, fmt.Sprintf("%s/vf%d", port.Name(), vf), uint16(fn.RID()), d.isr)
+	if err != nil {
+		return nil, err
+	}
+	d.binding = binding
+	// Program MSI-X entry 0 with the vector's message (address/data writes
+	// to the table page trap to the hypervisor).
+	msg := interrupts.NewMSIMessage(binding.Vector())
+	hv.GuestMMIOWrite(dom, fn, nic.MSIXTableBAR, 0, msg.Addr&0xffffffff)
+	hv.GuestMMIOWrite(dom, fn, nic.MSIXTableBAR, 4, msg.Addr>>32)
+	hv.GuestMMIOWrite(dom, fn, nic.MSIXTableBAR, 8, uint64(msg.Data))
+	q.Sink = func(*nic.Queue) { binding.PhysicalMSI() }
+	q.DMACheck = hv.DMACheckFor(dom, fn)
+
+	// Request our MAC through the mailbox; the PF driver polices it.
+	port.Mailbox().SetVFHandler(vf, d.onMailbox)
+	if err := port.Mailbox().SendToPF(nic.Message{Kind: nic.MsgSetMAC, VF: vf, Arg: uint64(cfg.MAC)}); err != nil {
+		return nil, err
+	}
+
+	// Initialize the throttle assuming line-rate traffic (the driver's
+	// startup assumption); adaptive policies re-sample from there.
+	d.applyRate(cfg.Policy.Rate(model.PacketsPerSecond(model.LineRateUDP, model.FrameSize)))
+	if cfg.Policy.Adaptive() {
+		d.sampler = sim.NewTicker(hv.Engine(), model.AICSamplePeriod, "vf:aic", func(units.Time) {
+			pps := float64(d.samplePkts) / model.AICSamplePeriod.Seconds()
+			d.samplePkts = 0
+			d.applyRate(d.policy.Rate(pps))
+			hv.ChargeGuest(dom, "isr", 800) // sampling work
+		})
+	}
+	q.SetIntrEnabled(true)
+	d.attached = true
+	return d, nil
+}
+
+// Queue exposes the VF's receive queue.
+func (d *VFDriver) Queue() *nic.Queue { return d.queue }
+
+// MAC reports the interface MAC.
+func (d *VFDriver) MAC() nic.MAC { return d.mac }
+
+// Attached reports whether the driver instance is live.
+func (d *VFDriver) Attached() bool { return d.attached }
+
+// Policy reports the coalescing policy.
+func (d *VFDriver) Policy() netstack.ITRPolicy { return d.policy }
+
+// SetPolicy switches the coalescing policy at runtime.
+func (d *VFDriver) SetPolicy(p netstack.ITRPolicy) {
+	d.policy = p
+	d.applyRate(p.Rate(0))
+}
+
+// applyRate programs the EITR register (microsecond granularity, the
+// hardware's own unit) through MMIO.
+func (d *VFDriver) applyRate(hz float64) {
+	us := uint64(0)
+	if hz > 0 {
+		us = uint64(1e6 / hz)
+	}
+	d.hv.GuestMMIOWrite(d.dom, d.queue.Function(), 0, nic.RegEITR0, us)
+}
+
+// isr is the §5 critical path.
+func (d *VFDriver) isr() {
+	if !d.attached {
+		return
+	}
+	k := d.dom.Kernel
+	if k.MasksMSIAtRuntime {
+		// "masks the interrupt at the very beginning of each MSI interrupt
+		// handling" (§5.1): a vector-control write to the MSI-X table page,
+		// which the hypervisor traps.
+		d.hv.GuestMMIOWrite(d.dom, d.queue.Function(), nic.MSIXTableBAR,
+			msixVectCtrl0, nic.MSIXVectorCtlMask)
+	}
+	d.recv.OnInterrupt()
+	n, bytes := d.queue.Drain(-1) // NAPI poll
+	if n > 0 {
+		d.samplePkts += int64(n)
+		d.recv.ObserveLatency(d.queue.LastDrainWait())
+		d.recv.DeliverBatch(n, bytes)
+		// Return the buffers: advance the receive tail pointer (BAR0,
+		// direct-mapped, free).
+		d.hv.GuestMMIOWrite(d.dom, d.queue.Function(), 0, nic.RegRDT0, uint64(n))
+	}
+	d.hv.GuestAPICAccess(d.dom, model.OtherAPICPerMSI)
+	d.hv.GuestEOI(d.dom)
+	if k.MasksMSIAtRuntime {
+		// "unmasks the interrupt after it completes" (§5.1).
+		d.hv.GuestMMIOWrite(d.dom, d.queue.Function(), nic.MSIXTableBAR,
+			msixVectCtrl0, 0)
+	}
+}
+
+// msixVectCtrl0 is the vector-control dword of MSI-X table entry 0.
+const msixVectCtrl0 = 12
+
+func (d *VFDriver) onMailbox(msg nic.Message) {
+	d.hv.ChargeGuest(d.dom, "isr", 3000) // mailbox doorbell handling
+	switch msg.Kind {
+	case nic.MsgAck:
+		d.MACConfirmed = true
+	case nic.MsgNack:
+		d.MACConfirmed = false
+	case nic.MsgLinkChange, nic.MsgDeviceReset, nic.MsgDriverRemove:
+		d.PFEvents++
+	}
+}
+
+// Transmit sends a netperf-style message toward dst via the NIC. Traffic to
+// a MAC on the same port is switched internally (§6.3); the sender pays the
+// syscall/stack cost plus any backpressure from the internal DMA engine.
+// It reports the packets queued and the sender-visible backlog.
+func (d *VFDriver) Transmit(sender *guest.NetSender, dst nic.MAC, msgSize, frame units.Size) (int, units.Duration) {
+	if !d.attached {
+		return 0, 0
+	}
+	pkts := sender.SendMessage(msgSize, frame)
+	if pkts == 0 {
+		return 0, 0
+	}
+	b := nic.Batch{Dst: dst, Count: pkts, Bytes: msgSize}
+	if _, ok := d.port.SendInternal(d.queue, b); !ok {
+		return 0, 0
+	}
+	return pkts, d.port.InternalBacklog()
+}
+
+// TransmitExternal sends a message out on the physical wire (toward the
+// client machine): sender-side syscall/stack cost, TX descriptors, then
+// line-rate serialization. Reports packets queued and the line backlog.
+func (d *VFDriver) TransmitExternal(sender *guest.NetSender, dst nic.MAC, msgSize, frame units.Size) (int, units.Duration) {
+	if !d.attached {
+		return 0, 0
+	}
+	pkts := sender.SendMessage(msgSize, frame)
+	if pkts == 0 {
+		return 0, 0
+	}
+	if !d.port.TransmitToWire(d.queue, nic.Batch{Dst: dst, Count: pkts, Bytes: msgSize}) {
+		return 0, d.port.TxBacklog()
+	}
+	return pkts, d.port.TxBacklog()
+}
+
+// JoinVLAN asks the PF driver (over the mailbox) to add a (MAC, VLAN)
+// filter for this VF, so tagged traffic classifies to its queue.
+func (d *VFDriver) JoinVLAN(vlan uint16) error {
+	if !d.attached {
+		return fmt.Errorf("drivers: driver detached")
+	}
+	return d.port.Mailbox().SendToPF(nic.Message{
+		Kind: nic.MsgSetVLAN, VF: d.vf, Arg: uint64(vlan),
+	})
+}
+
+// Detach is the guest's response to virtual hot removal (§4.4): quiesce the
+// queue, release the vector, drop the mailbox handler. Safe to call twice.
+func (d *VFDriver) Detach() {
+	if !d.attached {
+		return
+	}
+	d.attached = false
+	if d.sampler != nil {
+		d.sampler.Stop()
+	}
+	d.queue.SetIntrEnabled(false)
+	d.queue.Sink = nil
+	d.queue.DMACheck = nil
+	d.binding.Unbind()
+	// Tell the PF driver we are gone so it releases our MAC filter.
+	d.port.Mailbox().SendToPF(nic.Message{Kind: nic.MsgReset, VF: d.vf})
+	d.port.Mailbox().ClearVFHandler(d.vf)
+	d.hv.GuestConfigAccess(d.dom, 8) // teardown config writes
+}

@@ -1,0 +1,116 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§5–§6). Each experiment builds fresh testbeds, drives the workloads the
+// paper used, and returns a report.Figure holding the measured series, the
+// paper's reference values, and the qualitative shape checks ("who wins, by
+// roughly what factor, where crossovers fall") that the integration tests
+// and benchmarks assert.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/netstack"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/vmm"
+)
+
+// Spec describes one reproducible experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func() *report.Figure
+}
+
+// registry holds all experiments keyed by id.
+var registry = map[string]Spec{}
+
+func register(s Spec) { registry[s.ID] = s }
+
+// ByID looks an experiment up ("fig06" ... "fig21").
+func ByID(id string) (Spec, bool) {
+	s, ok := registry[id]
+	return s, ok
+}
+
+// All returns the experiments sorted by id.
+func All() []Spec {
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Common measurement windows. Shapes stabilize well within a second of
+// simulated time; warmup lets mailboxes settle and adaptive policies sample.
+const (
+	warmup  = 300 * units.Millisecond
+	window  = units.Second
+	aicWarm = 1500 * units.Millisecond // adaptive policies need ≥1 pps sample
+)
+
+// measureUDP builds one SR-IOV guest per (port, vf) pair given, starts
+// UDP_STREAM at rate per guest, and measures.
+type bedResult struct {
+	util    core.Utilization
+	goodput units.BitRate
+	perVM   map[string]float64
+	bed     *core.Testbed
+}
+
+// runSRIOV builds n SR-IOV guests spread over the testbed's ports, offers
+// perVMRate of UDP to each, and measures.
+func runSRIOV(cfg core.Config, n int, typ vmm.DomainType, k vmm.KernelConfig, policy func() netstack.ITRPolicy, perVMRate units.BitRate, warm units.Duration) bedResult {
+	tb := core.NewTestbed(cfg)
+	ports := len(tb.Ports)
+	for i := 0; i < n; i++ {
+		port := i % ports
+		vf := i / ports
+		var pol netstack.ITRPolicy
+		if policy != nil {
+			pol = policy()
+		}
+		g, err := tb.AddSRIOVGuest(fmt.Sprintf("guest-%d", i+1), typ, k, port, vf, pol)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		tb.StartUDP(g, perVMRate)
+	}
+	u, res := tb.Measure(warm, window)
+	tb.StopAll()
+	return bedResult{util: u, goodput: core.AggregateGoodput(res), perVM: u.PerGuest, bed: tb}
+}
+
+// runPV is runSRIOV's counterpart through the PV split driver.
+func runPV(cfg core.Config, n int, typ vmm.DomainType, k vmm.KernelConfig, perVMRate units.BitRate) bedResult {
+	tb := core.NewTestbed(cfg)
+	ports := len(tb.Ports)
+	for i := 0; i < n; i++ {
+		g, err := tb.AddPVGuest(fmt.Sprintf("guest-%d", i+1), typ, k, i%ports)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		tb.StartUDP(g, perVMRate)
+	}
+	u, res := tb.Measure(warmup, window)
+	tb.StopAll()
+	return bedResult{util: u, goodput: core.AggregateGoodput(res), perVM: u.PerGuest, bed: tb}
+}
+
+// perPortRate splits the aggregate line rate across the guests sharing each
+// port.
+func perPortRate(nGuests, nPorts int) units.BitRate {
+	perPort := (nGuests + nPorts - 1) / nPorts
+	return units.BitRate(float64(model.LineRateUDP) / float64(perPort))
+}
+
+// dynamicPolicy returns the era driver's dynamic moderation.
+func dynamicPolicy() netstack.ITRPolicy { return netstack.DefaultDynamicITR() }
+
+// aicPolicy returns the paper's adaptive coalescing.
+func aicPolicy() netstack.ITRPolicy { return netstack.DefaultAIC() }

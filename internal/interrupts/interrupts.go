@@ -1,0 +1,229 @@
+// Package interrupts models the x86 interrupt machinery the paper's
+// critical path runs through: MSI messages, a global vector allocator (Xen
+// allocates vectors globally to avoid interrupt sharing, §4.1), and a local
+// APIC with IRR/ISR priority state and the EOI register whose emulation §5.2
+// optimizes.
+package interrupts
+
+import "fmt"
+
+// Vector is an x86 interrupt vector (32-255 usable).
+type Vector uint8
+
+// FirstUsableVector is the lowest vector available for devices.
+const FirstUsableVector Vector = 32
+
+// MSIMessage is the address/data pair a function writes to signal an MSI.
+type MSIMessage struct {
+	Addr uint64
+	Data uint32
+}
+
+// MSIAddressBase is the architectural MSI address window.
+const MSIAddressBase = 0xfee00000
+
+// NewMSIMessage encodes a fixed-delivery MSI to the given vector.
+func NewMSIMessage(v Vector) MSIMessage {
+	return MSIMessage{Addr: MSIAddressBase, Data: uint32(v)}
+}
+
+// Vector decodes the target vector from the message data.
+func (m MSIMessage) Vector() Vector { return Vector(m.Data & 0xff) }
+
+// Allocator hands out machine vectors globally, never sharing one between
+// two sources, so the hypervisor can identify the owning guest from the
+// vector alone (§4.1: "which is globally allocated to avoid interrupt
+// sharing").
+type Allocator struct {
+	next  Vector
+	owner map[Vector]string
+}
+
+// NewAllocator returns an allocator starting at the first usable vector.
+func NewAllocator() *Allocator {
+	return &Allocator{next: FirstUsableVector, owner: make(map[Vector]string)}
+}
+
+// Alloc assigns the next free vector to the named owner.
+func (a *Allocator) Alloc(owner string) (Vector, error) {
+	if a.next == 0 { // wrapped past 255
+		return 0, fmt.Errorf("interrupts: out of vectors")
+	}
+	v := a.next
+	if a.next == 255 {
+		a.next = 0
+	} else {
+		a.next++
+	}
+	a.owner[v] = owner
+	return v, nil
+}
+
+// Free releases a vector.
+func (a *Allocator) Free(v Vector) { delete(a.owner, v) }
+
+// Owner reports who owns a vector.
+func (a *Allocator) Owner(v Vector) (string, bool) {
+	o, ok := a.owner[v]
+	return o, ok
+}
+
+// Allocated reports the number of live vectors.
+func (a *Allocator) Allocated() int { return len(a.owner) }
+
+// LAPIC models a local APIC's interrupt state: the IRR (requested), ISR
+// (in service) and the EOI register. The HVM guest's virtual LAPIC is an
+// instance of this, emulated by the hypervisor.
+type LAPIC struct {
+	irr [256]bool
+	isr [256]bool
+	// EOICount counts EOI writes (each one is an APIC-access VM-exit when
+	// this LAPIC is virtual).
+	EOICount int64
+	// SpuriousEOI counts EOIs with no interrupt in service.
+	SpuriousEOI int64
+}
+
+// Inject sets the vector pending in the IRR. It reports whether the vector
+// was newly pended (false if it was already pending — interrupt merging).
+func (l *LAPIC) Inject(v Vector) bool {
+	if l.irr[v] {
+		return false
+	}
+	l.irr[v] = true
+	return true
+}
+
+// Pending reports whether any deliverable interrupt is pending: the highest
+// pending vector must have higher priority than the highest in service.
+func (l *LAPIC) Pending() (Vector, bool) {
+	hp := l.highest(&l.irr)
+	if hp < 0 {
+		return 0, false
+	}
+	if hs := l.highest(&l.isr); hs >= hp {
+		return 0, false
+	}
+	return Vector(hp), true
+}
+
+// Ack moves the highest-priority pending vector from IRR to ISR, modeling
+// interrupt delivery to the CPU. It reports ok=false if nothing is
+// deliverable.
+func (l *LAPIC) Ack() (Vector, bool) {
+	v, ok := l.Pending()
+	if !ok {
+		return 0, false
+	}
+	l.irr[v] = false
+	l.isr[v] = true
+	return v, true
+}
+
+// EOI clears the highest-priority in-service vector ("Upon receiving a
+// virtual EOI, the APIC device model clears the highest priority virtual
+// interrupt in servicing, and dispatches the next highest priority
+// interrupt", §5.2). It returns the next deliverable vector, if any.
+func (l *LAPIC) EOI() (next Vector, ok bool) {
+	l.EOICount++
+	hs := l.highest(&l.isr)
+	if hs < 0 {
+		l.SpuriousEOI++
+		return 0, false
+	}
+	l.isr[hs] = false
+	return l.Pending()
+}
+
+// InService reports whether v is currently in service.
+func (l *LAPIC) InService(v Vector) bool { return l.isr[v] }
+
+// IRRSet reports whether v is pending.
+func (l *LAPIC) IRRSet(v Vector) bool { return l.irr[v] }
+
+func (l *LAPIC) highest(set *[256]bool) int {
+	for v := 255; v >= 0; v-- {
+		if set[v] {
+			return v
+		}
+	}
+	return -1
+}
+
+// EventChannelPort identifies one Xen event channel.
+type EventChannelPort int
+
+// EventChannels models the Xen paravirtualized interrupt controller: a flat
+// array of pending bits with a per-port mask — no priorities, no EOI
+// register, which is why it is cheaper than a virtual LAPIC (§6.4).
+type EventChannels struct {
+	pending []bool
+	masked  []bool
+	bound   []string
+	// Sent counts deliveries (new pendings).
+	Sent int64
+}
+
+// NewEventChannels creates a controller with n ports.
+func NewEventChannels(n int) *EventChannels {
+	return &EventChannels{
+		pending: make([]bool, n),
+		masked:  make([]bool, n),
+		bound:   make([]string, n),
+	}
+}
+
+// Bind allocates a free port for the named source.
+func (e *EventChannels) Bind(source string) (EventChannelPort, error) {
+	for i := range e.bound {
+		if e.bound[i] == "" {
+			e.bound[i] = source
+			e.pending[i] = false
+			e.masked[i] = false
+			return EventChannelPort(i), nil
+		}
+	}
+	return 0, fmt.Errorf("interrupts: no free event channel ports")
+}
+
+// Unbind releases a port.
+func (e *EventChannels) Unbind(p EventChannelPort) {
+	e.bound[p] = ""
+	e.pending[p] = false
+}
+
+// Notify sets the port pending. It reports whether an upcall should be
+// delivered (port bound, not masked, newly pending).
+func (e *EventChannels) Notify(p EventChannelPort) bool {
+	if int(p) >= len(e.pending) || e.bound[p] == "" {
+		return false
+	}
+	if e.pending[p] {
+		return false // already pending: merged
+	}
+	e.pending[p] = true
+	e.Sent++
+	return !e.masked[p]
+}
+
+// Mask masks or unmasks a port (a guest memory write, no trap needed —
+// that is the PVM advantage).
+func (e *EventChannels) Mask(p EventChannelPort, on bool) { e.masked[p] = on }
+
+// Consume clears the pending bit, returning whether it was set.
+func (e *EventChannels) Consume(p EventChannelPort) bool {
+	was := e.pending[p]
+	e.pending[p] = false
+	return was
+}
+
+// PendingPorts reports all pending unmasked ports.
+func (e *EventChannels) PendingPorts() []EventChannelPort {
+	var out []EventChannelPort
+	for i, p := range e.pending {
+		if p && !e.masked[i] {
+			out = append(out, EventChannelPort(i))
+		}
+	}
+	return out
+}

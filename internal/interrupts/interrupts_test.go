@@ -1,0 +1,233 @@
+package interrupts
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMSIMessageRoundTrip(t *testing.T) {
+	m := NewMSIMessage(0x41)
+	if m.Vector() != 0x41 {
+		t.Fatalf("vector = %#x", m.Vector())
+	}
+	if m.Addr != MSIAddressBase {
+		t.Fatalf("addr = %#x", m.Addr)
+	}
+}
+
+func TestAllocatorUniqueVectors(t *testing.T) {
+	a := NewAllocator()
+	seen := make(map[Vector]bool)
+	for i := 0; i < 100; i++ {
+		v, err := a.Alloc("owner")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < FirstUsableVector {
+			t.Fatalf("vector %d below first usable", v)
+		}
+		if seen[v] {
+			t.Fatalf("vector %d allocated twice", v)
+		}
+		seen[v] = true
+	}
+	if a.Allocated() != 100 {
+		t.Fatalf("allocated = %d", a.Allocated())
+	}
+}
+
+func TestAllocatorOwnership(t *testing.T) {
+	a := NewAllocator()
+	v, _ := a.Alloc("guest-3:vf0")
+	o, ok := a.Owner(v)
+	if !ok || o != "guest-3:vf0" {
+		t.Fatalf("owner = %q, %v", o, ok)
+	}
+	a.Free(v)
+	if _, ok := a.Owner(v); ok {
+		t.Fatal("freed vector still owned")
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	a := NewAllocator()
+	for i := 0; i < 224; i++ { // 32..255
+		if _, err := a.Alloc("x"); err != nil {
+			t.Fatalf("alloc %d failed early: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc("x"); err == nil {
+		t.Fatal("allocator should exhaust after 224 vectors")
+	}
+}
+
+func TestLAPICBasicFlow(t *testing.T) {
+	var l LAPIC
+	if !l.Inject(0x40) {
+		t.Fatal("first inject should pend")
+	}
+	if l.Inject(0x40) {
+		t.Fatal("second inject of same vector should merge")
+	}
+	v, ok := l.Ack()
+	if !ok || v != 0x40 {
+		t.Fatalf("ack = %#x, %v", v, ok)
+	}
+	if !l.InService(0x40) || l.IRRSet(0x40) {
+		t.Fatal("ack should move IRR→ISR")
+	}
+	if _, ok := l.EOI(); ok {
+		t.Fatal("no next interrupt expected")
+	}
+	if l.InService(0x40) {
+		t.Fatal("EOI should clear ISR")
+	}
+	if l.EOICount != 1 {
+		t.Fatal("EOI count")
+	}
+}
+
+func TestLAPICPriority(t *testing.T) {
+	var l LAPIC
+	l.Inject(0x40)
+	l.Inject(0x80)
+	v, _ := l.Ack()
+	if v != 0x80 {
+		t.Fatalf("highest priority first: got %#x", v)
+	}
+	// Lower-priority 0x40 is not deliverable while 0x80 is in service.
+	if _, ok := l.Pending(); ok {
+		t.Fatal("lower vector should be blocked by in-service higher vector")
+	}
+	// Higher vector preempts.
+	l.Inject(0x90)
+	v, ok := l.Ack()
+	if !ok || v != 0x90 {
+		t.Fatalf("preempting vector: got %#x, %v", v, ok)
+	}
+	// EOI clears 0x90; 0x80 still in service, 0x40 still blocked.
+	if next, ok := l.EOI(); ok {
+		t.Fatalf("unexpected next %#x", next)
+	}
+	// EOI clears 0x80; now 0x40 becomes deliverable.
+	next, ok := l.EOI()
+	if !ok || next != 0x40 {
+		t.Fatalf("next after second EOI = %#x, %v", next, ok)
+	}
+}
+
+func TestLAPICSpuriousEOI(t *testing.T) {
+	var l LAPIC
+	l.EOI()
+	if l.SpuriousEOI != 1 {
+		t.Fatal("spurious EOI not counted")
+	}
+}
+
+func TestLAPICInjectAckEOIProperty(t *testing.T) {
+	// Any sequence of injects followed by ack/EOI pairs drains completely,
+	// in descending priority order per service chain.
+	prop := func(raw []uint8) bool {
+		var l LAPIC
+		want := make(map[Vector]bool)
+		for _, r := range raw {
+			v := Vector(r%200 + 32)
+			l.Inject(v)
+			want[v] = true
+		}
+		seen := make(map[Vector]bool)
+		for i := 0; i < 300; i++ {
+			v, ok := l.Ack()
+			if !ok {
+				break
+			}
+			if seen[v] {
+				return false // delivered twice
+			}
+			seen[v] = true
+			l.EOI()
+		}
+		if len(seen) != len(want) {
+			return false
+		}
+		for v := range want {
+			if !seen[v] {
+				return false
+			}
+		}
+		_, pending := l.Pending()
+		return !pending
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventChannels(t *testing.T) {
+	e := NewEventChannels(4)
+	p, err := e.Bind("vif1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Notify(p) {
+		t.Fatal("first notify should deliver")
+	}
+	if e.Notify(p) {
+		t.Fatal("second notify should merge")
+	}
+	if got := e.PendingPorts(); len(got) != 1 || got[0] != p {
+		t.Fatalf("pending = %v", got)
+	}
+	if !e.Consume(p) {
+		t.Fatal("consume should report pending")
+	}
+	if e.Consume(p) {
+		t.Fatal("second consume should report clear")
+	}
+	if e.Sent != 1 {
+		t.Fatal("sent count")
+	}
+}
+
+func TestEventChannelMask(t *testing.T) {
+	e := NewEventChannels(4)
+	p, _ := e.Bind("vif1")
+	e.Mask(p, true)
+	if e.Notify(p) {
+		t.Fatal("masked notify should not deliver an upcall")
+	}
+	// Pending is still recorded.
+	if len(e.PendingPorts()) != 0 {
+		t.Fatal("masked pending port should not be listed")
+	}
+	e.Mask(p, false)
+	if got := e.PendingPorts(); len(got) != 1 {
+		t.Fatalf("after unmask pending = %v", got)
+	}
+}
+
+func TestEventChannelUnbind(t *testing.T) {
+	e := NewEventChannels(2)
+	p, _ := e.Bind("a")
+	e.Notify(p)
+	e.Unbind(p)
+	if e.Notify(p) {
+		t.Fatal("unbound port should not deliver")
+	}
+	// Port is reusable.
+	p2, err := e.Bind("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Fatalf("expected port reuse, got %d", p2)
+	}
+}
+
+func TestEventChannelExhaustion(t *testing.T) {
+	e := NewEventChannels(1)
+	e.Bind("a")
+	if _, err := e.Bind("b"); err == nil {
+		t.Fatal("should exhaust")
+	}
+}

@@ -1,0 +1,228 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestMachineAlloc(t *testing.T) {
+	m := NewMachine(1 * units.MiB) // 256 pages
+	if m.TotalPages() != 256 {
+		t.Fatalf("total pages = %d", m.TotalPages())
+	}
+	a, err := m.AllocPages(100)
+	if err != nil || a != 0 {
+		t.Fatalf("first alloc: %d, %v", a, err)
+	}
+	b, err := m.AllocPages(100)
+	if err != nil || b != 100 {
+		t.Fatalf("second alloc: %d, %v", b, err)
+	}
+	if m.FreePages() != 56 {
+		t.Fatalf("free = %d", m.FreePages())
+	}
+	if _, err := m.AllocPages(57); err == nil {
+		t.Fatal("over-allocation should fail")
+	}
+}
+
+func TestDomainTranslate(t *testing.T) {
+	m := NewMachine(16 * units.MiB)
+	// Burn some pages so the domain's base is non-zero and translation
+	// is visibly non-identity.
+	m.AllocPages(10)
+	d, err := NewDomainMemory(m, 1*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := d.Translate(GPA(0x2345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gfn 2 maps to mfn 12; offset 0x345 preserved.
+	want := HPA(12<<PageShift | 0x345)
+	if h != want {
+		t.Fatalf("translate = %#x, want %#x", uint64(h), uint64(want))
+	}
+	if _, err := d.Translate(GPA(2 * units.MiB)); err == nil {
+		t.Fatal("out-of-range GPA should fail")
+	}
+}
+
+func TestDomainMFN(t *testing.T) {
+	m := NewMachine(1 * units.MiB)
+	d, _ := NewDomainMemory(m, 64*units.KiB)
+	if _, err := d.MFN(16); err == nil {
+		t.Fatal("out-of-range gfn should fail")
+	}
+	mfn, err := d.MFN(3)
+	if err != nil || mfn != 3 {
+		t.Fatalf("mfn = %d, %v", mfn, err)
+	}
+}
+
+func TestDomainTooSmall(t *testing.T) {
+	m := NewMachine(1 * units.MiB)
+	if _, err := NewDomainMemory(m, 100); err == nil {
+		t.Fatal("sub-page domain should fail")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	m := NewMachine(4 * units.MiB)
+	d, _ := NewDomainMemory(m, 1*units.MiB)
+	// Writes before tracking are not recorded.
+	d.MarkDirty(GPA(0))
+	if d.DirtyCount() != 0 {
+		t.Fatal("dirty recorded before tracking")
+	}
+	d.StartDirtyTracking()
+	if !d.Tracking() {
+		t.Fatal("tracking should be on")
+	}
+	d.MarkDirty(GPA(0))
+	d.MarkDirty(GPA(100))                 // same page
+	d.MarkDirty(GPA(PageSize.Bits() / 8)) // page 1
+	if d.DirtyCount() != 2 {
+		t.Fatalf("dirty = %d, want 2", d.DirtyCount())
+	}
+	if n := d.HarvestDirty(); n != 2 {
+		t.Fatalf("harvest = %d", n)
+	}
+	if d.DirtyCount() != 0 {
+		t.Fatal("harvest should clear")
+	}
+	// Tracking continues after harvest.
+	d.MarkDirtyPages(5, 3)
+	if d.DirtyCount() != 3 {
+		t.Fatalf("dirty after harvest = %d", d.DirtyCount())
+	}
+	d.StopDirtyTracking()
+	d.MarkDirty(GPA(0x9000))
+	if d.DirtyCount() != 3 {
+		t.Fatal("writes after stop should not be recorded")
+	}
+}
+
+func TestTranslateRoundTripProperty(t *testing.T) {
+	m := NewMachine(64 * units.MiB)
+	m.AllocPages(1000)
+	d, _ := NewDomainMemory(m, 16*units.MiB)
+	prop := func(raw uint32) bool {
+		a := GPA(uint64(raw) % uint64(d.Size()))
+		h, err := d.Translate(a)
+		if err != nil {
+			return false
+		}
+		// Offset preserved, frame is the allocated one.
+		if uint64(h)&(uint64(PageSize)-1) != a.Offset() {
+			return false
+		}
+		mfn, err := d.MFN(a.PageOf())
+		return err == nil && uint64(h)>>PageShift == mfn
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainsDisjointProperty(t *testing.T) {
+	// Two domains never share a machine frame.
+	m := NewMachine(64 * units.MiB)
+	d1, _ := NewDomainMemory(m, 4*units.MiB)
+	d2, _ := NewDomainMemory(m, 4*units.MiB)
+	seen := make(map[uint64]bool)
+	for g := uint64(0); g < d1.Pages(); g++ {
+		mfn, _ := d1.MFN(g)
+		seen[mfn] = true
+	}
+	for g := uint64(0); g < d2.Pages(); g++ {
+		mfn, _ := d2.MFN(g)
+		if seen[mfn] {
+			t.Fatalf("frame %d shared between domains", mfn)
+		}
+	}
+}
+
+func TestGrantLifecycle(t *testing.T) {
+	g := NewGrantTable(1, 8)
+	ref, err := g.Grant(42, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Active() != 1 {
+		t.Fatalf("active = %d", g.Active())
+	}
+	gfn, err := g.Map(ref, 0, true)
+	if err != nil || gfn != 42 {
+		t.Fatalf("map: %d, %v", gfn, err)
+	}
+	// Cannot end while mapped.
+	if err := g.End(ref); err == nil {
+		t.Fatal("End while mapped should fail")
+	}
+	if err := g.Unmap(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.End(ref); err != nil {
+		t.Fatal(err)
+	}
+	if g.Active() != 0 {
+		t.Fatal("entry still active after End")
+	}
+	if g.Ops != 4 {
+		t.Fatalf("ops = %d, want 4", g.Ops)
+	}
+}
+
+func TestGrantPermissions(t *testing.T) {
+	g := NewGrantTable(1, 8)
+	ref, _ := g.Grant(7, 0, false)
+	if _, err := g.Map(ref, 2, false); err == nil {
+		t.Fatal("wrong domain should be rejected")
+	}
+	if _, err := g.Map(ref, 0, true); err == nil {
+		t.Fatal("write map of read-only grant should be rejected")
+	}
+	if _, err := g.Map(ref, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrantTableFull(t *testing.T) {
+	g := NewGrantTable(1, 2)
+	g.Grant(1, 0, true)
+	g.Grant(2, 0, true)
+	if _, err := g.Grant(3, 0, true); err == nil {
+		t.Fatal("full table should reject")
+	}
+}
+
+func TestGrantInvalidRef(t *testing.T) {
+	g := NewGrantTable(1, 2)
+	if _, err := g.Map(GrantRef(99), 0, false); err == nil {
+		t.Fatal("invalid ref should fail")
+	}
+	if err := g.Unmap(GrantRef(0)); err == nil {
+		t.Fatal("unmap of unused entry should fail")
+	}
+	ref, _ := g.Grant(1, 0, true)
+	if err := g.Unmap(ref); err == nil {
+		t.Fatal("unmap of never-mapped grant should fail")
+	}
+}
+
+func TestGrantReuseAfterEnd(t *testing.T) {
+	g := NewGrantTable(1, 1)
+	ref, _ := g.Grant(1, 0, true)
+	g.End(ref)
+	ref2, err := g.Grant(2, 0, true)
+	if err != nil {
+		t.Fatal("entry should be reusable after End")
+	}
+	if ref2 != ref {
+		t.Fatalf("expected slot reuse, got %d", ref2)
+	}
+}

@@ -1,0 +1,209 @@
+// Package migration implements live VM migration: iterative pre-copy with
+// log-dirty tracking, stop-and-copy, and the paper's dynamic network
+// interface switching (DNIS, §4.4) that hot-removes the VF (switching the
+// bond to the PV NIC) before migration and hot-adds a VF at the target.
+package migration
+
+import (
+	"fmt"
+
+	"repro/internal/drivers"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/vmm"
+)
+
+// Round records one pre-copy iteration.
+type Round struct {
+	Pages    uint64
+	Duration units.Duration
+}
+
+// Result describes a completed migration.
+type Result struct {
+	Start         units.Time
+	PrecopyRounds []Round
+	// DowntimeStart/DowntimeEnd bound the stop-and-copy service outage.
+	DowntimeStart units.Time
+	DowntimeEnd   units.Time
+	// SwitchOutage is the DNIS interface-switch loss window (zero for a
+	// plain PV migration).
+	SwitchOutage units.Duration
+	// PagesSent is the total page traffic.
+	PagesSent uint64
+}
+
+// Downtime reports the stop-and-copy outage.
+func (r *Result) Downtime() units.Duration { return r.DowntimeEnd.Sub(r.DowntimeStart) }
+
+// TotalDuration reports start → service restore.
+func (r *Result) TotalDuration() units.Duration { return r.DowntimeEnd.Sub(r.Start) }
+
+// Config parameterizes a migration.
+type Config struct {
+	LinkRate       units.BitRate // migration channel bandwidth
+	MaxRounds      int           // pre-copy iteration cap
+	StopThreshold  uint64        // remaining pages allowing stop-and-copy
+	DirtyPerSecond int           // guest dirtying rate while running
+	WorkingSet     uint64        // distinct pages being re-dirtied
+}
+
+// DefaultConfig returns the paper-calibrated parameters.
+func DefaultConfig() Config {
+	return Config{
+		LinkRate:       model.MigrationLinkRate,
+		MaxRounds:      model.PrecopyRounds,
+		StopThreshold:  model.PrecopyStopThresholdPages,
+		DirtyPerSecond: model.DirtyPagesPerSecond,
+		WorkingSet:     model.WorkingSetPages,
+	}
+}
+
+// Manager runs migrations on one hypervisor.
+type Manager struct {
+	hv  *vmm.Hypervisor
+	cfg Config
+}
+
+// NewManager creates a migration manager.
+func NewManager(hv *vmm.Hypervisor, cfg Config) *Manager {
+	return &Manager{hv: hv, cfg: cfg}
+}
+
+// dirtier models the running guest touching its working set: a ticker marks
+// pages through the real log-dirty bitmap so each round's harvest is
+// deduplicated exactly as Xen's would be.
+type dirtier struct {
+	tick *sim.Ticker
+}
+
+func (m *Manager) startDirtier(d *vmm.Domain) *dirtier {
+	rng := m.hv.Engine().RNG().Split()
+	dm := d.Memory
+	dm.StartDirtyTracking()
+	period := 10 * units.Millisecond
+	perTick := int(float64(m.cfg.DirtyPerSecond) * period.Seconds())
+	ws := m.cfg.WorkingSet
+	if ws > dm.Pages() {
+		ws = dm.Pages()
+	}
+	t := sim.NewTicker(m.hv.Engine(), period, "migration:dirtier", func(units.Time) {
+		if d.Paused() {
+			return
+		}
+		for i := 0; i < perTick; i++ {
+			gfn := uint64(rng.Intn(int(ws)))
+			dm.MarkDirty(mem.GPA(gfn << mem.PageShift))
+		}
+	})
+	return &dirtier{tick: t}
+}
+
+// MigratePV live-migrates a domain whose network is fully software-based
+// (the Fig. 20 baseline): pre-copy rounds while the guest runs, then
+// stop-and-copy. onDone receives the result when service is restored at the
+// target.
+func (m *Manager) MigratePV(d *vmm.Domain, onDone func(*Result)) error {
+	if d.Memory == nil {
+		return fmt.Errorf("migration: domain %s has no memory", d.Name)
+	}
+	if len(d.Assigned()) != 0 {
+		return fmt.Errorf("migration: domain %s has passthrough hardware (%d functions); use DNIS", d.Name, len(d.Assigned()))
+	}
+	res := &Result{Start: m.hv.Engine().Now()}
+	dirt := m.startDirtier(d)
+	m.precopy(d, dirt, d.Memory.Pages(), 0, res, onDone)
+	return nil
+}
+
+func (m *Manager) transferTime(pages uint64) units.Duration {
+	return units.TransferTime(units.Size(pages)*mem.PageSize, m.cfg.LinkRate)
+}
+
+// precopy runs one round: send `pages` now; whatever the guest dirties in
+// the meantime is the next round's payload.
+func (m *Manager) precopy(d *vmm.Domain, dirt *dirtier, pages uint64, round int, res *Result, onDone func(*Result)) {
+	dur := m.transferTime(pages)
+	m.hv.ChargeDom0("migration", units.Cycles(pages*model.MigrationPerPageDom0Cycles))
+	res.PrecopyRounds = append(res.PrecopyRounds, Round{Pages: pages, Duration: dur})
+	res.PagesSent += pages
+	m.hv.Engine().After(dur, "migration:round", func() {
+		dirty := d.Memory.HarvestDirty()
+		if dirty <= m.cfg.StopThreshold || round+1 >= m.cfg.MaxRounds {
+			m.stopAndCopy(d, dirt, dirty, res, onDone)
+			return
+		}
+		m.precopy(d, dirt, dirty, round+1, res, onDone)
+	})
+}
+
+func (m *Manager) stopAndCopy(d *vmm.Domain, dirt *dirtier, pages uint64, res *Result, onDone func(*Result)) {
+	eng := m.hv.Engine()
+	res.DowntimeStart = eng.Now()
+	m.hv.SetPaused(d, true)
+	dirt.tick.Stop()
+	d.Memory.StopDirtyTracking()
+	m.hv.ChargeDom0("migration", units.Cycles(pages*model.MigrationPerPageDom0Cycles))
+	res.PagesSent += pages
+	down := m.transferTime(pages) + model.StopAndCopyOverhead
+	eng.After(down, "migration:stopcopy", func() {
+		m.hv.SetPaused(d, false)
+		res.DowntimeEnd = eng.Now()
+		if onDone != nil {
+			onDone(res)
+		}
+	})
+}
+
+// MigrateDNIS migrates a domain that holds a VF, using dynamic network
+// interface switching (§4.4): the migration manager asks the virtual
+// hot-plug controller to signal removal of the VF; the bonding driver fails
+// over to the PV NIC (losing traffic for the switch window); the guest
+// shuts the VF driver down; the VF is unassigned; then the "real" migration
+// proceeds exactly as MigratePV. When service is restored, a virtual hot
+// add-on re-attaches a VF at the target (the attachVF callback builds the
+// new driver instance — the target's VF "may or may not be identical").
+func (m *Manager) MigrateDNIS(d *vmm.Domain, bond *drivers.Bond, attachVF func() *drivers.VFDriver, onDone func(*Result)) error {
+	if d.Memory == nil {
+		return fmt.Errorf("migration: domain %s has no memory", d.Name)
+	}
+	vf := bond.VF()
+	if vf == nil || !vf.Attached() {
+		return fmt.Errorf("migration: bond has no active VF; use MigratePV")
+	}
+	fn := vf.Queue().Function()
+	start := m.hv.Engine().Now()
+	// Step 1: virtual hot removal → bond failover → driver shutdown →
+	// unassign from the IOMMU. Only then is the guest hardware-neutral.
+	d.HotplugHandler = func(ev vmm.HotplugEvent) {
+		if !ev.Remove {
+			return
+		}
+		bond.FailoverToPV(model.DNISSwitchOutage)
+		bond.DetachVF()
+	}
+	m.hv.HotplugRemove(d, fn, func() {
+		m.hv.UnassignDevice(d, fn)
+		// Step 2: the "real" migration, "as if the guest was never
+		// equipped with the VF hardware".
+		res := &Result{Start: start, SwitchOutage: model.DNISSwitchOutage}
+		dirt := m.startDirtier(d)
+		m.precopy(d, dirt, d.Memory.Pages(), 0, res, func(r *Result) {
+			// Step 3: hot add-on at the target for post-migration
+			// performance.
+			m.hv.HotplugAdd(d, func() {
+				if attachVF != nil {
+					if newVF := attachVF(); newVF != nil {
+						bond.ActivateVF(newVF)
+					}
+				}
+				if onDone != nil {
+					onDone(r)
+				}
+			})
+		})
+	})
+	return nil
+}

@@ -1,0 +1,142 @@
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// MsgKind enumerates the PF↔VF mailbox message types of §4.2: configuration
+// requests from the VF driver and event notifications from the PF driver.
+type MsgKind int
+
+// Mailbox message kinds.
+const (
+	// VF → PF requests.
+	MsgSetMAC MsgKind = iota
+	MsgSetMulticast
+	MsgSetVLAN
+	MsgReset
+	// PF → VF notifications ("impending global device reset, link status
+	// change, and impending driver removal").
+	MsgLinkChange
+	MsgDeviceReset
+	MsgDriverRemove
+	// Acknowledgement.
+	MsgAck
+	MsgNack
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgSetMAC:
+		return "set-mac"
+	case MsgSetMulticast:
+		return "set-multicast"
+	case MsgSetVLAN:
+		return "set-vlan"
+	case MsgReset:
+		return "reset"
+	case MsgLinkChange:
+		return "link-change"
+	case MsgDeviceReset:
+		return "device-reset"
+	case MsgDriverRemove:
+		return "driver-remove"
+	case MsgAck:
+		return "ack"
+	case MsgNack:
+		return "nack"
+	default:
+		return fmt.Sprintf("msg(%d)", int(k))
+	}
+}
+
+// Message is one mailbox message.
+type Message struct {
+	Kind MsgKind
+	VF   int // which VF's mailbox
+	Arg  uint64
+}
+
+// Mailbox models the 82576's hardware PF↔VF channel: "a simple mailbox and
+// doorbell system. The sender writes a message to the mailbox and then
+// 'rings the doorbell', which will interrupt and notify the receiver"
+// (§4.2). One message slot exists per VF in each direction; writing while
+// the previous message is unconsumed fails, as real producers must wait for
+// the acknowledgment bit.
+type Mailbox struct {
+	port *Port
+
+	// PFHandler receives VF→PF messages (the PF driver registers it).
+	PFHandler func(Message)
+	// vfHandlers receive PF→VF messages (VF drivers register them).
+	vfHandlers map[int]func(Message)
+
+	toPF map[int]*Message // per-VF slot
+	toVF map[int]*Message
+
+	Sent      int64
+	Doorbells int64
+}
+
+func newMailbox(p *Port) *Mailbox {
+	return &Mailbox{
+		port:       p,
+		vfHandlers: make(map[int]func(Message)),
+		toPF:       make(map[int]*Message),
+		toVF:       make(map[int]*Message),
+	}
+}
+
+// SetVFHandler registers the VF driver's doorbell handler.
+func (m *Mailbox) SetVFHandler(vf int, h func(Message)) { m.vfHandlers[vf] = h }
+
+// ClearVFHandler removes a VF's handler (driver teardown).
+func (m *Mailbox) ClearVFHandler(vf int) { delete(m.vfHandlers, vf) }
+
+// SendToPF posts a VF→PF message and rings the PF's doorbell. Delivery
+// takes MailboxLatency of simulated time.
+func (m *Mailbox) SendToPF(msg Message) error {
+	if m.toPF[msg.VF] != nil {
+		return fmt.Errorf("nic: VF%d→PF mailbox busy", msg.VF)
+	}
+	cp := msg
+	m.toPF[msg.VF] = &cp
+	m.Sent++
+	m.port.eng.After(model.MailboxLatency, "nic:mbox:pf", func() {
+		m.Doorbells++
+		stored := m.toPF[msg.VF]
+		m.toPF[msg.VF] = nil
+		if m.PFHandler != nil && stored != nil {
+			m.PFHandler(*stored)
+		}
+	})
+	return nil
+}
+
+// SendToVF posts a PF→VF message and rings that VF's doorbell.
+func (m *Mailbox) SendToVF(msg Message) error {
+	if m.toVF[msg.VF] != nil {
+		return fmt.Errorf("nic: PF→VF%d mailbox busy", msg.VF)
+	}
+	cp := msg
+	m.toVF[msg.VF] = &cp
+	m.Sent++
+	m.port.eng.After(model.MailboxLatency, "nic:mbox:vf", func() {
+		m.Doorbells++
+		stored := m.toVF[msg.VF]
+		m.toVF[msg.VF] = nil
+		if h := m.vfHandlers[msg.VF]; h != nil && stored != nil {
+			h(*stored)
+		}
+	})
+	return nil
+}
+
+// Broadcast sends a PF→VF notification to every VF with a handler.
+func (m *Mailbox) Broadcast(kind MsgKind) {
+	for vf := range m.vfHandlers {
+		m.SendToVF(Message{Kind: kind, VF: vf})
+	}
+}

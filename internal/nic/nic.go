@@ -1,0 +1,542 @@
+// Package nic models an Intel 82576-class SR-IOV capable Gigabit Ethernet
+// controller: a PF per port with up to 7 VFs, receive queues with descriptor
+// rings, a layer-2 switch classifying by MAC/VLAN, per-queue interrupt
+// throttling (EITR), the PF↔VF mailbox/doorbell channel, and the internal
+// DMA path that switches VM-to-VM traffic inside the NIC without touching
+// the wire (§6.3).
+//
+// Packets are modeled as batches (count + bytes + destination) — the paper's
+// results depend on packet and interrupt *rates*, ring occupancy and DMA
+// bandwidth, not payload contents.
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// MAC is a 48-bit Ethernet address held in a comparable integer.
+type MAC uint64
+
+// String renders the MAC conventionally.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+		byte(m>>40), byte(m>>32), byte(m>>24), byte(m>>16), byte(m>>8), byte(m))
+}
+
+// Batch is a group of same-destination frames moving together.
+type Batch struct {
+	Dst   MAC
+	VLAN  uint16 // 0 = untagged
+	Count int
+	Bytes units.Size
+}
+
+// arrivalRec is one accepted batch's bookkeeping for latency accounting.
+type arrivalRec struct {
+	count int
+	when  units.Time
+}
+
+// QueueStats are the per-queue counters.
+type QueueStats struct {
+	RxPackets  int64
+	RxBytes    units.Size
+	RxDropped  int64 // ring overflow
+	DMAFaults  int64 // IOMMU-rejected deliveries
+	Interrupts int64
+	TxPackets  int64
+	TxBytes    units.Size
+}
+
+// Queue is the receive side of one function (PF or VF): a descriptor ring,
+// interrupt throttle state, and the attachment points the hypervisor or
+// native OS installs.
+type Queue struct {
+	port *Port
+	fn   *pcie.Function
+	name string
+
+	ringCap  int
+	occupied int
+	occBytes units.Size
+
+	// arrivals records (count, arrival time) per accepted batch, FIFO, so
+	// Drain can report how long packets waited in the ring — the latency
+	// side of the §5.3 coalescing trade-off.
+	arrivals []arrivalRec
+	// lastDrainWait is the mean ring wait of the most recent Drain.
+	lastDrainWait units.Duration
+
+	// regs is the BAR0 register file, installed by InstallRegisters.
+	regs *registerFile
+	// msix is the BAR3-resident MSI-X vector table.
+	msix *msixTable
+
+	// Interrupt state.
+	itrInterval    units.Duration // minimum gap between interrupts; 0 = immediate
+	intrEnabled    bool
+	masked         bool
+	throttledUntil units.Time
+	timer          *sim.Handle
+
+	// Sink receives the MSI: the hypervisor's physical-interrupt entry
+	// point, or the native OS's ISR when not virtualized.
+	Sink func(q *Queue)
+
+	// DMACheck validates a delivery's DMA the way the fabric+IOMMU would;
+	// installed when the function is assigned. A non-nil error drops the
+	// batch.
+	DMACheck func(bytes units.Size) error
+
+	// DirectDeliver, when set, receives batches instead of the descriptor
+	// ring. Host-terminated paths (the dom0 bridge feeding netback, VMDq)
+	// use it: the next hop is software with its own queueing, and it needs
+	// the batch's destination, which the ring does not preserve.
+	DirectDeliver func(Batch)
+
+	Stats QueueStats
+}
+
+// Name reports the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Function reports the owning PCIe function.
+func (q *Queue) Function() *pcie.Function { return q.fn }
+
+// Port reports the owning port.
+func (q *Queue) Port() *Port { return q.port }
+
+// RingCap reports the descriptor-ring capacity.
+func (q *Queue) RingCap() int { return q.ringCap }
+
+// SetRingCap resizes the descriptor ring (driver configuration).
+func (q *Queue) SetRingCap(n int) {
+	if n <= 0 {
+		panic("nic: ring capacity must be positive")
+	}
+	q.ringCap = n
+}
+
+// Occupied reports packets waiting in the ring.
+func (q *Queue) Occupied() int { return q.occupied }
+
+// SetITR programs the interrupt throttle: at most one interrupt per
+// interval. Zero disables throttling. This is the EITR register the VF
+// driver (and AIC) programs.
+func (q *Queue) SetITR(interval units.Duration) {
+	if interval < 0 {
+		interval = 0
+	}
+	q.itrInterval = interval
+}
+
+// ITR reports the programmed throttle interval.
+func (q *Queue) ITR() units.Duration { return q.itrInterval }
+
+// SetIntrEnabled turns MSI generation on or off (driver init/teardown).
+func (q *Queue) SetIntrEnabled(on bool) {
+	q.intrEnabled = on
+	if on {
+		q.maybeInterrupt()
+	}
+}
+
+// SetMasked reflects the guest's MSI mask state into the queue. Unmasking
+// with packets pending fires immediately (subject to the throttle).
+func (q *Queue) SetMasked(m bool) {
+	q.masked = m
+	if !m {
+		q.maybeInterrupt()
+	}
+}
+
+// Masked reports the mask state.
+func (q *Queue) Masked() bool { return q.masked }
+
+// deliver places a batch in the ring, dropping what does not fit, then
+// considers raising an interrupt.
+func (q *Queue) deliver(b Batch) {
+	if q.DMACheck != nil {
+		if err := q.DMACheck(b.Bytes); err != nil {
+			q.Stats.DMAFaults += int64(b.Count)
+			return
+		}
+	}
+	if q.DirectDeliver != nil {
+		q.Stats.RxPackets += int64(b.Count)
+		q.Stats.RxBytes += b.Bytes
+		q.DirectDeliver(b)
+		return
+	}
+	free := q.ringCap - q.occupied
+	accept := b.Count
+	if accept > free {
+		q.Stats.RxDropped += int64(accept - free)
+		accept = free
+	}
+	if accept > 0 {
+		perPkt := b.Bytes / units.Size(b.Count)
+		q.occupied += accept
+		q.occBytes += perPkt * units.Size(accept)
+		q.Stats.RxPackets += int64(accept)
+		q.Stats.RxBytes += perPkt * units.Size(accept)
+		q.arrivals = append(q.arrivals, arrivalRec{count: accept, when: q.port.eng.Now()})
+	}
+	q.maybeInterrupt()
+}
+
+// Drain removes up to max packets from the ring (the driver's poll loop),
+// returning the packet count and bytes taken.
+func (q *Queue) Drain(max int) (int, units.Size) {
+	n := q.occupied
+	if max >= 0 && n > max {
+		n = max
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	perPkt := q.occBytes / units.Size(q.occupied)
+	bytes := perPkt * units.Size(n)
+	q.occupied -= n
+	q.occBytes -= bytes
+	// Latency accounting: consume arrival records FIFO and report the
+	// mean wait of the drained packets.
+	now := q.port.eng.Now()
+	remaining := n
+	var waitSum int64
+	for remaining > 0 && len(q.arrivals) > 0 {
+		rec := &q.arrivals[0]
+		take := rec.count
+		if take > remaining {
+			take = remaining
+		}
+		waitSum += int64(take) * int64(now.Sub(rec.when))
+		rec.count -= take
+		remaining -= take
+		if rec.count == 0 {
+			q.arrivals = q.arrivals[1:]
+		}
+	}
+	q.lastDrainWait = units.Duration(waitSum / int64(n))
+	return n, bytes
+}
+
+// LastDrainWait reports the mean time the most recently drained packets
+// spent waiting in the descriptor ring (dominated by the interrupt
+// throttle).
+func (q *Queue) LastDrainWait() units.Duration { return q.lastDrainWait }
+
+func (q *Queue) maybeInterrupt() {
+	if !q.intrEnabled || q.masked || q.Sink == nil || q.occupied == 0 {
+		return
+	}
+	now := q.port.eng.Now()
+	if now >= q.throttledUntil {
+		q.fire(now)
+		return
+	}
+	if q.timer.Pending() {
+		return
+	}
+	q.timer = q.port.eng.At(q.throttledUntil, "nic:itr:"+q.name, func() {
+		if q.intrEnabled && !q.masked && q.occupied > 0 && q.Sink != nil {
+			q.fire(q.port.eng.Now())
+		}
+	})
+}
+
+func (q *Queue) fire(now units.Time) {
+	q.Stats.Interrupts++
+	q.throttledUntil = now.Add(q.itrInterval)
+	q.Sink(q)
+}
+
+// Port is one 1 GbE port: a PF, its VFs, the L2 switch and the internal DMA
+// budget for VM-to-VM switching.
+type Port struct {
+	eng  *sim.Engine
+	name string
+	rate units.BitRate
+
+	dev *pcie.Device
+	pf  *pcie.Function
+
+	pfQueue  *Queue
+	vfQueues []*Queue
+
+	l2 map[l2Key]*Queue
+
+	// Internal-switch DMA budget: VM-to-VM batches serialize over the
+	// PCIe link at internalCap.
+	internalCap       units.BitRate
+	internalBusyUntil units.Time
+
+	// Wire receive budget (the physical line itself).
+	wireBusyUntil units.Time
+
+	// Wire transmit: egress serializes at line rate toward Egress.
+	wireTxBusyUntil units.Time
+	// Egress receives frames leaving on the wire (the link peer). Nil
+	// drops them at the PHY, counted in WireTxDropped.
+	Egress func(Batch)
+
+	// WireTx counters.
+	WireTxPackets int64
+	WireTxBytes   units.Size
+	WireTxDropped int64
+
+	mailbox *Mailbox
+
+	// WireRx counters.
+	WireRxPackets int64
+	WireRxBytes   units.Size
+	WireRxDropped int64
+}
+
+// Config describes one port's construction parameters.
+type Config struct {
+	Name     string
+	NumVFs   int // VFs to register (TotalVFs); 7 on the 82576
+	Rate     units.BitRate
+	RingCap  int
+	Internal units.BitRate // internal switch DMA bandwidth
+}
+
+// New creates a port with its PCIe device: one PF with an SR-IOV capability
+// and NumVFs (disabled) VFs. The returned device should be attached to a
+// fabric by the caller.
+func New(eng *sim.Engine, cfg Config) *Port {
+	if cfg.Rate == 0 {
+		cfg.Rate = model.PortRate
+	}
+	if cfg.RingCap == 0 {
+		cfg.RingCap = model.RxRingEntries
+	}
+	if cfg.Internal == 0 {
+		cfg.Internal = model.InternalSwitchRate
+	}
+	if cfg.NumVFs < 0 || cfg.NumVFs > 8 {
+		panic("nic: 82576 supports at most 8 VFs per port")
+	}
+	p := &Port{
+		eng:  eng,
+		name: cfg.Name,
+		rate: cfg.Rate,
+		l2:   make(map[l2Key]*Queue),
+	}
+
+	pf := pcie.NewFunction(cfg.Name, pcie.MakeRID(0, 0, 0), 0x8086, 0x10c9)
+	pf.SetBARSize(0, 0x20000)
+	pcie.AddMSIXCap(pf.Config(), 0x70, 10, 3, 0)
+	pcie.AddSRIOVCap(pf.Config(), pcie.ExtCapBase, pcie.SRIOVConfig{
+		TotalVFs:      cfg.NumVFs,
+		FirstVFOffset: 8,
+		VFStride:      1,
+		VFDeviceID:    0x10ca,
+	})
+	p.pf = pf
+	p.dev = pcie.NewDevice(cfg.Name)
+	p.dev.AddPF(pf)
+	p.pfQueue = &Queue{port: p, fn: pf, name: cfg.Name + "/pf", ringCap: cfg.RingCap}
+
+	for i := 0; i < cfg.NumVFs; i++ {
+		vf := p.dev.AddVF(pf, i)
+		vf.SetBARSize(0, 0x4000)
+		vf.SetBARSize(MSIXTableBAR, 0x1000)
+		pcie.AddMSIXCap(vf.Config(), 0x70, 3, MSIXTableBAR, 0)
+		pcie.AddMSICap(vf.Config(), 0x50, 0)
+		q := &Queue{port: p, fn: vf, name: fmt.Sprintf("%s/vf%d", cfg.Name, i), ringCap: cfg.RingCap}
+		p.vfQueues = append(p.vfQueues, q)
+	}
+
+	p.mailbox = newMailbox(p)
+
+	// React to SR-IOV control writes on the PF: VF Enable materializes the
+	// VFs on the bus (targeted config access starts responding).
+	pf.OnConfigWrite = func(off, size int, val uint32) {
+		p.dev.SetVFsPresent(pf, p.enabledVFs())
+	}
+	p.internalCap = cfg.Internal
+	return p
+}
+
+// enabledVFs reports how many VFs the SR-IOV capability currently enables.
+func (p *Port) enabledVFs() int {
+	cap, ok := pcie.SRIOVCapAt(p.pf.Config())
+	if !ok || !cap.VFEnabled() {
+		return 0
+	}
+	n := cap.NumVFs()
+	if n > len(p.vfQueues) {
+		n = len(p.vfQueues)
+	}
+	return n
+}
+
+// Name reports the port name.
+func (p *Port) Name() string { return p.name }
+
+// Rate reports the line rate.
+func (p *Port) Rate() units.BitRate { return p.rate }
+
+// Device returns the port's PCIe device for fabric attachment.
+func (p *Port) Device() *pcie.Device { return p.dev }
+
+// PF returns the physical function.
+func (p *Port) PF() *pcie.Function { return p.pf }
+
+// PFQueue returns the PF's own queue (dom0/native traffic).
+func (p *Port) PFQueue() *Queue { return p.pfQueue }
+
+// VFQueue returns VF i's queue.
+func (p *Port) VFQueue(i int) *Queue { return p.vfQueues[i] }
+
+// NumVFs reports the number of VF queues.
+func (p *Port) NumVFs() int { return len(p.vfQueues) }
+
+// Mailbox returns the PF↔VF mailbox.
+func (p *Port) Mailbox() *Mailbox { return p.mailbox }
+
+// l2Key is one layer-2 switch filter: destination MAC plus VLAN tag
+// ("The layer 2 switching classifies incoming packets, based on MAC and
+// VLAN addresses", §4.1).
+type l2Key struct {
+	mac  MAC
+	vlan uint16
+}
+
+// SetMAC programs the L2 switch: untagged frames to mac go to q. The PF
+// driver owns this table (§4.1: "The PF driver is also responsible for
+// configuring layer 2 switching").
+func (p *Port) SetMAC(mac MAC, q *Queue) { p.SetMACVLAN(mac, 0, q) }
+
+// SetMACVLAN programs a (MAC, VLAN) filter.
+func (p *Port) SetMACVLAN(mac MAC, vlan uint16, q *Queue) {
+	p.l2[l2Key{mac, vlan}] = q
+}
+
+// ClearMAC removes the untagged filter for mac.
+func (p *Port) ClearMAC(mac MAC) { p.ClearMACVLAN(mac, 0) }
+
+// ClearMACVLAN removes a (MAC, VLAN) filter.
+func (p *Port) ClearMACVLAN(mac MAC, vlan uint16) {
+	delete(p.l2, l2Key{mac, vlan})
+}
+
+// Classify reports the queue for an untagged destination MAC.
+func (p *Port) Classify(mac MAC) (*Queue, bool) { return p.ClassifyVLAN(mac, 0) }
+
+// ClassifyVLAN reports the queue for a (MAC, VLAN) pair.
+func (p *Port) ClassifyVLAN(mac MAC, vlan uint16) (*Queue, bool) {
+	q, ok := p.l2[l2Key{mac, vlan}]
+	return q, ok
+}
+
+// ReceiveFromWire delivers a batch arriving on the physical line: the wire
+// serializes at line rate; frames to unknown MACs are dropped (no
+// promiscuous default).
+func (p *Port) ReceiveFromWire(b Batch) {
+	ttime := units.TransferTime(b.Bytes, p.rate)
+	now := p.eng.Now()
+	start := now
+	if p.wireBusyUntil > start {
+		start = p.wireBusyUntil
+	}
+	// If the line is backlogged by more than a coalescing interval the
+	// sender is overdriving it; excess is lost on the sending side. Model:
+	// batches arriving while the wire is >1 ms behind are dropped.
+	if start.Sub(now) > units.Millisecond {
+		p.WireRxDropped += int64(b.Count)
+		return
+	}
+	p.wireBusyUntil = start.Add(ttime)
+	p.eng.At(p.wireBusyUntil, "nic:wire:"+p.name, func() {
+		p.WireRxPackets += int64(b.Count)
+		p.WireRxBytes += b.Bytes
+		if q, ok := p.ClassifyVLAN(b.Dst, b.VLAN); ok {
+			q.deliver(b)
+		}
+	})
+}
+
+// SendInternal transmits a batch from a source queue to a destination on
+// the same port. If the destination MAC is local the NIC switches it
+// internally ("Packets of inter-VM communication in SR-IOV are internally
+// switched in NIC, without going through the physical line", §6.3),
+// serializing both DMA crossings over the PCIe budget. It reports the time
+// the transfer completes, or ok=false if the destination is unknown.
+func (p *Port) SendInternal(src *Queue, b Batch) (units.Time, bool) {
+	dst, ok := p.ClassifyVLAN(b.Dst, b.VLAN)
+	if !ok || dst == src {
+		return 0, false
+	}
+	src.Stats.TxPackets += int64(b.Count)
+	src.Stats.TxBytes += b.Bytes
+	now := p.eng.Now()
+	start := now
+	if p.internalBusyUntil > start {
+		start = p.internalBusyUntil
+	}
+	// Each transfer pays a descriptor/doorbell setup round trip on top of
+	// the data movement — why small inter-VM messages fall short of the
+	// DMA ceiling (Fig. 13).
+	ttime := units.TransferTime(b.Bytes, p.internalCap) + model.InternalDMASetup
+	p.internalBusyUntil = start.Add(ttime)
+	done := p.internalBusyUntil
+	p.eng.At(done, "nic:p2v:"+p.name, func() { dst.deliver(b) })
+	return done, true
+}
+
+// TransmitToWire sends a batch out of the port: frames serialize on the
+// physical line at the port rate and arrive at the link peer (Egress) after
+// the transfer time. Like the receive side, a sender overdriving the line
+// by more than a coalescing interval loses the excess.
+func (p *Port) TransmitToWire(src *Queue, b Batch) bool {
+	now := p.eng.Now()
+	start := now
+	if p.wireTxBusyUntil > start {
+		start = p.wireTxBusyUntil
+	}
+	if start.Sub(now) > units.Millisecond {
+		p.WireTxDropped += int64(b.Count)
+		return false
+	}
+	src.Stats.TxPackets += int64(b.Count)
+	src.Stats.TxBytes += b.Bytes
+	ttime := units.TransferTime(b.Bytes, p.rate)
+	p.wireTxBusyUntil = start.Add(ttime)
+	p.eng.At(p.wireTxBusyUntil, "nic:tx:"+p.name, func() {
+		p.WireTxPackets += int64(b.Count)
+		p.WireTxBytes += b.Bytes
+		if p.Egress != nil {
+			p.Egress(b)
+		} else {
+			p.WireTxDropped += int64(b.Count)
+		}
+	})
+	return true
+}
+
+// TxBacklog reports how far behind the transmit line is.
+func (p *Port) TxBacklog() units.Duration {
+	now := p.eng.Now()
+	if p.wireTxBusyUntil <= now {
+		return 0
+	}
+	return p.wireTxBusyUntil.Sub(now)
+}
+
+// InternalBacklog reports how far behind the internal DMA engine is — the
+// backpressure an inter-VM sender sees.
+func (p *Port) InternalBacklog() units.Duration {
+	now := p.eng.Now()
+	if p.internalBusyUntil <= now {
+		return 0
+	}
+	return p.internalBusyUntil.Sub(now)
+}

@@ -1,0 +1,169 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func newRegQueue(t *testing.T) (*sim.Engine, *Port, *Queue) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	p := New(eng, Config{Name: "eth0", NumVFs: 2})
+	q := p.VFQueue(0)
+	q.InstallRegisters()
+	return eng, p, q
+}
+
+func TestRegistersEITRProgramsThrottle(t *testing.T) {
+	_, _, q := newRegQueue(t)
+	fn := q.Function()
+	fn.MMIOWrite(0, RegEITR0, 500) // 500 µs = 2 kHz
+	if q.ITR() != 500*units.Microsecond {
+		t.Fatalf("ITR = %v", q.ITR())
+	}
+	if got := fn.MMIORead(0, RegEITR0); got != 500 {
+		t.Fatalf("EITR readback = %d", got)
+	}
+	fn.MMIOWrite(0, RegEITR0, 0)
+	if q.ITR() != 0 {
+		t.Fatal("EITR=0 should disable throttling")
+	}
+}
+
+func TestRegistersRingLengthAndHead(t *testing.T) {
+	_, _, q := newRegQueue(t)
+	fn := q.Function()
+	fn.MMIOWrite(0, RegRDLEN0, 256)
+	if q.RingCap() != 256 {
+		t.Fatalf("ring cap = %d", q.RingCap())
+	}
+	if got := fn.MMIORead(0, RegRDLEN0); got != 256 {
+		t.Fatalf("RDLEN readback = %d", got)
+	}
+	q.deliver(Batch{Dst: MAC(1), Count: 5, Bytes: 7570})
+	if got := fn.MMIORead(0, RegRDH0); got != 5 {
+		t.Fatalf("RDH = %d, want occupancy 5", got)
+	}
+	fn.MMIOWrite(0, RegRDT0, 5)
+	if q.RDTWrites() != 1 {
+		t.Fatal("RDT write not counted")
+	}
+}
+
+func TestRegistersResetQuiesces(t *testing.T) {
+	_, _, q := newRegQueue(t)
+	fn := q.Function()
+	fired := 0
+	q.Sink = func(*Queue) { fired++ }
+	q.SetIntrEnabled(true)
+	q.deliver(Batch{Dst: MAC(1), Count: 3, Bytes: 4542})
+	if fired != 1 {
+		t.Fatal("precondition: interrupt fired")
+	}
+	fn.MMIOWrite(0, RegCTRL, CtrlReset)
+	if q.Occupied() != 0 {
+		t.Fatal("reset should drop the ring")
+	}
+	if q.Resets() != 1 {
+		t.Fatal("reset not counted")
+	}
+	// Reset is self-clearing.
+	if fn.MMIORead(0, RegCTRL)&CtrlReset != 0 {
+		t.Fatal("CTRL.RST should self-clear")
+	}
+	// Interrupts are disabled until the driver re-enables.
+	q.deliver(Batch{Dst: MAC(1), Count: 3, Bytes: 4542})
+	if fired != 1 {
+		t.Fatal("interrupts should stay disabled after reset")
+	}
+}
+
+func TestRegistersStatusLink(t *testing.T) {
+	_, _, q := newRegQueue(t)
+	if q.Function().MMIORead(0, RegSTATUS)&StatusLinkUp == 0 {
+		t.Fatal("link should read up")
+	}
+	// Unknown register reads zero.
+	if q.Function().MMIORead(0, 0x9999) != 0 {
+		t.Fatal("unknown register should read 0")
+	}
+}
+
+func TestRegistersMailboxDoorbell(t *testing.T) {
+	eng, p, q := newRegQueue(t)
+	var got []Message
+	p.Mailbox().PFHandler = func(m Message) { got = append(got, m) }
+	fn := q.Function()
+	// Write kind + arg to the message buffer, then ring the doorbell.
+	fn.MMIOWrite(0, RegVMBMem, uint64(MsgSetMAC))
+	fn.MMIOWrite(0, RegVMBMem+4, 0xaabb)
+	fn.MMIOWrite(0, RegVMBMem+8, 0)
+	fn.MMIOWrite(0, RegVMailbox, 1)
+	eng.Run()
+	if len(got) != 1 || got[0].Kind != MsgSetMAC || got[0].Arg != 0xaabb || got[0].VF != 0 {
+		t.Fatalf("mailbox got %v", got)
+	}
+	// Buffer readback works.
+	if fn.MMIORead(0, RegVMBMem+4) != 0xaabb {
+		t.Fatal("message buffer readback")
+	}
+}
+
+func TestInstallRegistersIdempotent(t *testing.T) {
+	_, _, q := newRegQueue(t)
+	q.Function().MMIOWrite(0, RegEITR0, 100)
+	q.InstallRegisters() // second install must not clear state
+	if q.Function().MMIORead(0, RegEITR0) != 100 {
+		t.Fatal("reinstall clobbered register state")
+	}
+	if !q.Registers() {
+		t.Fatal("Registers() should report installed")
+	}
+}
+
+func TestVLANClassification(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := New(eng, Config{Name: "eth0", NumVFs: 2})
+	q0, q1 := p.VFQueue(0), p.VFQueue(1)
+	p.SetMAC(MAC(0xaa), q0)          // untagged → VF0
+	p.SetMACVLAN(MAC(0xaa), 100, q1) // VLAN 100 → VF1
+	// Untagged batch.
+	p.ReceiveFromWire(Batch{Dst: MAC(0xaa), Count: 2, Bytes: 3028})
+	// Tagged batch.
+	p.ReceiveFromWire(Batch{Dst: MAC(0xaa), VLAN: 100, Count: 3, Bytes: 4542})
+	// Unknown VLAN: dropped.
+	p.ReceiveFromWire(Batch{Dst: MAC(0xaa), VLAN: 999, Count: 4, Bytes: 6056})
+	eng.Run()
+	if q0.Stats.RxPackets != 2 {
+		t.Fatalf("untagged packets = %d", q0.Stats.RxPackets)
+	}
+	if q1.Stats.RxPackets != 3 {
+		t.Fatalf("tagged packets = %d", q1.Stats.RxPackets)
+	}
+	p.ClearMACVLAN(MAC(0xaa), 100)
+	if _, ok := p.ClassifyVLAN(MAC(0xaa), 100); ok {
+		t.Fatal("cleared VLAN filter still classifies")
+	}
+	if _, ok := p.Classify(MAC(0xaa)); !ok {
+		t.Fatal("untagged filter should survive")
+	}
+}
+
+func TestVLANInternalSwitch(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := New(eng, Config{Name: "eth0", NumVFs: 2})
+	dst := p.VFQueue(1)
+	p.SetMACVLAN(MAC(0xbb), 42, dst)
+	if _, ok := p.SendInternal(p.VFQueue(0), Batch{Dst: MAC(0xbb), Count: 1, Bytes: 1514}); ok {
+		t.Fatal("untagged batch should not match VLAN-only filter")
+	}
+	if _, ok := p.SendInternal(p.VFQueue(0), Batch{Dst: MAC(0xbb), VLAN: 42, Count: 1, Bytes: 1514}); !ok {
+		t.Fatal("tagged batch should match")
+	}
+	eng.Run()
+	if dst.Stats.RxPackets != 1 {
+		t.Fatalf("delivered = %d", dst.Stats.RxPackets)
+	}
+}

@@ -1,0 +1,326 @@
+package pcie
+
+// This file provides typed views over the capability structures the
+// simulator uses: MSI (with per-vector masking — the register the RHEL5U1
+// guest hammers in §5.1), MSI-X, the SR-IOV extended capability that PF
+// drivers program to materialize VFs, and ACS for the §4.3 security story.
+
+// ---- MSI capability (ID 0x05) ----
+//
+// Layout (per-vector-masking capable, 64-bit):
+//   +0  cap id / next
+//   +2  Message Control
+//   +4  Message Address (lo)
+//   +8  Message Address (hi)
+//   +12 Message Data
+//   +16 Mask Bits (one bit per vector)
+//   +20 Pending Bits
+
+const msiBodySize = 22
+
+// MSI control register bits.
+const (
+	MSICtlEnable     = 1 << 0
+	MSICtl64Bit      = 1 << 7
+	MSICtlPerVectorM = 1 << 8
+)
+
+// MSICap is a typed view of an MSI capability inside a config space.
+type MSICap struct {
+	cfg *ConfigSpace
+	off int
+}
+
+// AddMSICap installs an MSI capability at off with per-vector masking and
+// 64-bit addressing, supporting 1<<log2Vectors vectors.
+func AddMSICap(cfg *ConfigSpace, off int, log2Vectors int) MSICap {
+	cfg.AddCapability(CapIDMSI, off, msiBodySize)
+	ctl := uint16(MSICtl64Bit|MSICtlPerVectorM) | uint16(log2Vectors&0x7)<<1
+	cfg.writeRaw16(off+2, ctl)
+	return MSICap{cfg: cfg, off: off}
+}
+
+// MSICapAt returns a view of the MSI capability found in cfg, or ok=false.
+func MSICapAt(cfg *ConfigSpace) (MSICap, bool) {
+	off := cfg.FindCapability(CapIDMSI)
+	if off == 0 {
+		return MSICap{}, false
+	}
+	return MSICap{cfg: cfg, off: off}, true
+}
+
+// Offset reports the capability's config-space offset.
+func (m MSICap) Offset() int { return m.off }
+
+// Enabled reports whether MSI delivery is enabled.
+func (m MSICap) Enabled() bool { return m.cfg.Read16(m.off+2)&MSICtlEnable != 0 }
+
+// SetEnabled sets or clears the MSI enable bit.
+func (m MSICap) SetEnabled(on bool) {
+	ctl := m.cfg.Read16(m.off + 2)
+	if on {
+		ctl |= MSICtlEnable
+	} else {
+		ctl &^= MSICtlEnable
+	}
+	m.cfg.Write16(m.off+2, ctl)
+}
+
+// SetMessage programs the message address and data (the interrupt vector).
+func (m MSICap) SetMessage(addr uint64, data uint32) {
+	m.cfg.Write32(m.off+4, uint32(addr))
+	m.cfg.Write32(m.off+8, uint32(addr>>32))
+	m.cfg.Write32(m.off+12, data)
+}
+
+// Message reads back the programmed address and data.
+func (m MSICap) Message() (addr uint64, data uint32) {
+	addr = uint64(m.cfg.Read32(m.off+4)) | uint64(m.cfg.Read32(m.off+8))<<32
+	return addr, m.cfg.Read32(m.off + 12)
+}
+
+// MaskOffset reports the config-space offset of the mask register — the
+// register whose emulation cost §5.1 eliminates from the device model.
+func (m MSICap) MaskOffset() int { return m.off + 16 }
+
+// SetMasked masks or unmasks one vector.
+func (m MSICap) SetMasked(vector int, masked bool) {
+	bits := m.cfg.Read32(m.off + 16)
+	if masked {
+		bits |= 1 << uint(vector)
+	} else {
+		bits &^= 1 << uint(vector)
+	}
+	m.cfg.Write32(m.off+16, bits)
+}
+
+// Masked reports whether a vector is masked.
+func (m MSICap) Masked(vector int) bool {
+	return m.cfg.Read32(m.off+16)&(1<<uint(vector)) != 0
+}
+
+// ---- MSI-X capability (ID 0x11) ----
+//
+// Layout:
+//   +0 cap id / next
+//   +2 Message Control (table size minus one, function mask, enable)
+//   +4 Table Offset / BIR
+//   +8 PBA Offset / BIR
+
+const msixBodySize = 10
+
+// MSI-X control bits.
+const (
+	MSIXCtlEnable       = 1 << 15
+	MSIXCtlFunctionMask = 1 << 14
+)
+
+// MSIXCap is a typed view of an MSI-X capability.
+type MSIXCap struct {
+	cfg *ConfigSpace
+	off int
+}
+
+// AddMSIXCap installs an MSI-X capability at off with the given table size,
+// table in BAR bir at tableOff.
+func AddMSIXCap(cfg *ConfigSpace, off, tableSize, bir int, tableOff uint32) MSIXCap {
+	if tableSize < 1 || tableSize > 2048 {
+		panic("pcie: MSI-X table size out of range")
+	}
+	cfg.AddCapability(CapIDMSIX, off, msixBodySize)
+	cfg.writeRaw16(off+2, uint16(tableSize-1))
+	cfg.writeRaw32(off+4, tableOff&^0x7|uint32(bir&0x7))
+	return MSIXCap{cfg: cfg, off: off}
+}
+
+// MSIXCapAt returns a view of the MSI-X capability found in cfg.
+func MSIXCapAt(cfg *ConfigSpace) (MSIXCap, bool) {
+	off := cfg.FindCapability(CapIDMSIX)
+	if off == 0 {
+		return MSIXCap{}, false
+	}
+	return MSIXCap{cfg: cfg, off: off}, true
+}
+
+// Offset reports the capability's config-space offset.
+func (m MSIXCap) Offset() int { return m.off }
+
+// TableSize reports the number of MSI-X table entries.
+func (m MSIXCap) TableSize() int { return int(m.cfg.Read16(m.off+2)&0x7ff) + 1 }
+
+// TableBIR reports which BAR holds the vector table.
+func (m MSIXCap) TableBIR() int { return int(m.cfg.Read32(m.off+4) & 0x7) }
+
+// TableOffset reports the table's offset within its BAR.
+func (m MSIXCap) TableOffset() uint32 { return m.cfg.Read32(m.off+4) &^ 0x7 }
+
+// Enabled reports whether MSI-X is enabled.
+func (m MSIXCap) Enabled() bool { return m.cfg.Read16(m.off+2)&MSIXCtlEnable != 0 }
+
+// SetEnabled sets or clears the enable bit.
+func (m MSIXCap) SetEnabled(on bool) {
+	ctl := m.cfg.Read16(m.off + 2)
+	if on {
+		ctl |= MSIXCtlEnable
+	} else {
+		ctl &^= MSIXCtlEnable
+	}
+	m.cfg.Write16(m.off+2, ctl)
+}
+
+// ---- SR-IOV extended capability (ID 0x0010) ----
+//
+// Layout (offsets relative to the capability):
+//   +0x00 header
+//   +0x04 SR-IOV Capabilities
+//   +0x08 SR-IOV Control        (bit0 VF Enable, bit3 VF MSE)
+//   +0x0a SR-IOV Status
+//   +0x0c InitialVFs
+//   +0x0e TotalVFs
+//   +0x10 NumVFs
+//   +0x14 First VF Offset
+//   +0x16 VF Stride
+//   +0x1a VF Device ID
+//   +0x1c Supported Page Sizes
+//   +0x20 System Page Size
+//   +0x24 VF BAR0 .. +0x38 VF BAR5
+
+const sriovBodySize = 0x3c
+
+// SR-IOV control bits.
+const (
+	SRIOVCtlVFEnable = 1 << 0
+	SRIOVCtlVFMSE    = 1 << 3 // VF memory space enable
+)
+
+// SRIOVCap is a typed view of the SR-IOV extended capability on a PF.
+type SRIOVCap struct {
+	cfg *ConfigSpace
+	off int
+}
+
+// SRIOVConfig describes the fixed hardware parameters of an SR-IOV PF.
+type SRIOVConfig struct {
+	TotalVFs      int
+	FirstVFOffset int
+	VFStride      int
+	VFDeviceID    uint16
+}
+
+// AddSRIOVCap installs the SR-IOV extended capability at off.
+func AddSRIOVCap(cfg *ConfigSpace, off int, sc SRIOVConfig) SRIOVCap {
+	cfg.AddExtCapability(ExtCapIDSRIOV, 1, off, sriovBodySize)
+	cfg.writeRaw16(off+0x0c, uint16(sc.TotalVFs)) // InitialVFs
+	cfg.writeRaw16(off+0x0e, uint16(sc.TotalVFs)) // TotalVFs
+	cfg.writeRaw16(off+0x14, uint16(sc.FirstVFOffset))
+	cfg.writeRaw16(off+0x16, uint16(sc.VFStride))
+	cfg.writeRaw16(off+0x1a, sc.VFDeviceID)
+	cfg.writeRaw32(off+0x1c, 0x553) // supported page sizes: 4K..1M, as 82576
+	cfg.writeRaw32(off+0x20, 0x1)   // system page size: 4K
+	return SRIOVCap{cfg: cfg, off: off}
+}
+
+// SRIOVCapAt returns a view of the SR-IOV capability found in cfg.
+func SRIOVCapAt(cfg *ConfigSpace) (SRIOVCap, bool) {
+	off := cfg.FindExtCapability(ExtCapIDSRIOV)
+	if off == 0 {
+		return SRIOVCap{}, false
+	}
+	return SRIOVCap{cfg: cfg, off: off}, true
+}
+
+// Offset reports the capability's config-space offset.
+func (s SRIOVCap) Offset() int { return s.off }
+
+// TotalVFs reports the hardware VF capacity.
+func (s SRIOVCap) TotalVFs() int { return int(s.cfg.Read16(s.off + 0x0e)) }
+
+// NumVFs reports the currently configured VF count.
+func (s SRIOVCap) NumVFs() int { return int(s.cfg.Read16(s.off + 0x10)) }
+
+// SetNumVFs programs the VF count. Must be done before enabling VFs.
+func (s SRIOVCap) SetNumVFs(n int) { s.cfg.Write16(s.off+0x10, uint16(n)) }
+
+// FirstVFOffset reports the routing-ID offset of VF0 from the PF.
+func (s SRIOVCap) FirstVFOffset() int { return int(s.cfg.Read16(s.off + 0x14)) }
+
+// VFStride reports the routing-ID stride between consecutive VFs.
+func (s SRIOVCap) VFStride() int { return int(s.cfg.Read16(s.off + 0x16)) }
+
+// VFDeviceID reports the device ID VFs present.
+func (s SRIOVCap) VFDeviceID() uint16 { return s.cfg.Read16(s.off + 0x1a) }
+
+// VFEnabled reports whether VF Enable is set.
+func (s SRIOVCap) VFEnabled() bool { return s.cfg.Read16(s.off+0x08)&SRIOVCtlVFEnable != 0 }
+
+// SetVFEnable sets or clears VF Enable.
+func (s SRIOVCap) SetVFEnable(on bool) {
+	ctl := s.cfg.Read16(s.off + 0x08)
+	if on {
+		ctl |= SRIOVCtlVFEnable | SRIOVCtlVFMSE
+	} else {
+		ctl &^= SRIOVCtlVFEnable | SRIOVCtlVFMSE
+	}
+	s.cfg.Write16(s.off+0x08, ctl)
+}
+
+// VFRID reports the routing ID of VF index i for a PF with the given RID.
+func (s SRIOVCap) VFRID(pf RID, i int) RID {
+	return pf.Offset(s.FirstVFOffset() + i*s.VFStride())
+}
+
+// ---- ACS extended capability (ID 0x000d) ----
+//
+// Layout:
+//   +0 header
+//   +4 ACS Capability (16) / ACS Control (16)
+
+const acsBodySize = 4
+
+// ACS control bits (subset the model uses).
+const (
+	ACSSourceValidation   = 1 << 0
+	ACSP2PRequestRedirect = 1 << 2
+	ACSUpstreamForwarding = 1 << 4
+)
+
+// ACSCap is a typed view of an ACS capability on a switch downstream port.
+type ACSCap struct {
+	cfg *ConfigSpace
+	off int
+}
+
+// AddACSCap installs the ACS extended capability at off.
+func AddACSCap(cfg *ConfigSpace, off int) ACSCap {
+	cfg.AddExtCapability(ExtCapIDACS, 1, off, acsBodySize)
+	caps := uint16(ACSSourceValidation | ACSP2PRequestRedirect | ACSUpstreamForwarding)
+	cfg.writeRaw16(off+4, caps)
+	return ACSCap{cfg: cfg, off: off}
+}
+
+// ACSCapAt returns a view of the ACS capability found in cfg.
+func ACSCapAt(cfg *ConfigSpace) (ACSCap, bool) {
+	off := cfg.FindExtCapability(ExtCapIDACS)
+	if off == 0 {
+		return ACSCap{}, false
+	}
+	return ACSCap{cfg: cfg, off: off}, true
+}
+
+// RedirectEnabled reports whether P2P request redirect is on.
+func (a ACSCap) RedirectEnabled() bool {
+	return a.cfg.Read16(a.off+6)&ACSP2PRequestRedirect != 0
+}
+
+// SetRedirect turns P2P request redirect on or off. With redirect on, a
+// peer-to-peer TLP between two downstream ports is forced upstream through
+// the root complex and IOMMU instead of being switched directly (§4.3).
+func (a ACSCap) SetRedirect(on bool) {
+	ctl := a.cfg.Read16(a.off + 6)
+	if on {
+		ctl |= ACSP2PRequestRedirect | ACSUpstreamForwarding
+	} else {
+		ctl &^= ACSP2PRequestRedirect | ACSUpstreamForwarding
+	}
+	a.cfg.Write16(a.off+6, ctl)
+}

@@ -1,0 +1,239 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// that everything else in the simulator is built on.
+//
+// Events are callbacks scheduled at a simulated time. Events scheduled for
+// the same instant fire in the order they were scheduled (FIFO), so a run
+// with a given seed is exactly reproducible. Handles returned by the
+// scheduling methods allow cancellation, which is how interrupt throttles,
+// watchdogs, and migration phases are retracted.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Time and Duration alias the shared unit types for convenience.
+type (
+	Time     = units.Time
+	Duration = units.Duration
+)
+
+// Handle identifies a scheduled event and allows cancelling it.
+type Handle struct {
+	ev *event
+}
+
+// Cancel retracts the event if it has not fired yet. It reports whether the
+// event was still pending. Cancelling a nil or already-fired handle is a
+// safe no-op.
+func (h *Handle) Cancel() bool {
+	if h == nil || h.ev == nil || h.ev.cancelled || h.ev.fired {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled.
+func (h *Handle) Pending() bool {
+	return h != nil && h.ev != nil && !h.ev.cancelled && !h.ev.fired
+}
+
+type event struct {
+	when      Time
+	seq       uint64 // schedule order, breaks ties deterministically
+	name      string
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation event loop. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *RNG
+	stopped bool
+	// processed counts events executed, for diagnostics and runaway guards.
+	processed uint64
+	// limit bounds the number of executed events; 0 means unlimited.
+	limit uint64
+}
+
+// NewEngine returns an engine at time zero with a deterministic RNG seeded
+// by seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetEventLimit bounds the total number of events the engine will execute.
+// It is a guard against runaway schedules in tests; 0 disables the limit.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// At schedules fn at absolute time t. Scheduling in the past (before Now)
+// panics: it is always a modeling bug.
+func (e *Engine) At(t Time, name string, fn func()) *Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v, before now %v", name, t, e.now))
+	}
+	e.seq++
+	ev := &event{when: t, seq: e.seq, name: name, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Handle{ev: ev}
+}
+
+// After schedules fn d after the current time. Negative d is clamped to 0.
+func (e *Engine) After(d Duration, name string, fn func()) *Handle {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), name, fn)
+}
+
+// Stop makes the current Run call return once the executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty, Stop is called, or the
+// event limit is hit. It returns the final simulated time.
+func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (if it is later than the last event) and returns it.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.when > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.cancelled {
+			continue
+		}
+		if e.limit > 0 && e.processed >= e.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at %v (next event %q)", e.limit, e.now, next.name))
+		}
+		e.now = next.when
+		next.fired = true
+		e.processed++
+		next.fn()
+	}
+	if !e.stopped && e.now < deadline && deadline < Time(1<<62-1) {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending reports the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Ticker fires fn at a fixed period until cancelled. It reschedules itself
+// after each firing, so fn may safely adjust the period for the next tick by
+// calling SetPeriod.
+type Ticker struct {
+	eng    *Engine
+	period Duration
+	name   string
+	fn     func(Time)
+	handle *Handle
+	done   bool
+}
+
+// NewTicker creates and starts a ticker whose first firing is one period
+// from now. Period must be positive.
+func NewTicker(eng *Engine, period Duration, name string, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, name: name, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.eng.After(t.period, t.name, func() {
+		if t.done {
+			return
+		}
+		t.fn(t.eng.Now())
+		if !t.done {
+			t.arm()
+		}
+	})
+}
+
+// SetPeriod changes the period used for subsequent ticks. If called outside
+// the tick callback it re-arms the pending tick with the new period.
+func (t *Ticker) SetPeriod(p Duration) {
+	if p <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	if t.period == p {
+		return
+	}
+	t.period = p
+	if t.handle.Pending() {
+		t.handle.Cancel()
+		t.arm()
+	}
+}
+
+// Period reports the current period.
+func (t *Ticker) Period() Duration { return t.period }
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.done = true
+	t.handle.Cancel()
+}

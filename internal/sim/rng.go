@@ -1,0 +1,46 @@
+package sim
+
+// RNG is a small deterministic pseudo-random source (splitmix64 core with an
+// xorshift mix), used wherever the simulation needs controlled randomness
+// (dirty-page selection, jitter). It is deliberately independent of
+// math/rand so results cannot drift with Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded by seed. Seed 0 is remapped so the
+// stream is never the all-zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Split derives an independent generator, useful for giving each component
+// its own stream so adding a component does not perturb the others.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() | 1)
+}

@@ -1,0 +1,131 @@
+// Package trace is a lightweight ring-buffer event tracer for debugging
+// simulation runs: components emit (time, category, name, detail) tuples and
+// the most recent window can be dumped chronologically. Tracing is opt-in;
+// a nil *Buffer is safe to emit into and costs one branch.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At       units.Time
+	Category string
+	Name     string
+	Detail   string
+}
+
+// String renders the event as one line.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("[%v] %s: %s", e.At, e.Category, e.Name)
+	}
+	return fmt.Sprintf("[%v] %s: %s (%s)", e.At, e.Category, e.Name, e.Detail)
+}
+
+// Buffer is a fixed-capacity ring of events. The zero value is unusable;
+// create with NewBuffer. A nil Buffer discards emits.
+type Buffer struct {
+	ring  []Event
+	next  int
+	total int64
+	// filter, when non-empty, restricts recording to these categories.
+	filter map[string]bool
+}
+
+// NewBuffer creates a tracer retaining the most recent capacity events.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Buffer{ring: make([]Event, 0, capacity)}
+}
+
+// Filter restricts recording to the given categories (all if none).
+func (b *Buffer) Filter(categories ...string) *Buffer {
+	if b == nil {
+		return nil
+	}
+	if len(categories) == 0 {
+		b.filter = nil
+		return b
+	}
+	b.filter = make(map[string]bool, len(categories))
+	for _, c := range categories {
+		b.filter[c] = true
+	}
+	return b
+}
+
+// Emit records an event. Safe on a nil receiver.
+func (b *Buffer) Emit(at units.Time, category, name, detail string) {
+	if b == nil {
+		return
+	}
+	if b.filter != nil && !b.filter[category] {
+		return
+	}
+	e := Event{At: at, Category: category, Name: name, Detail: detail}
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, e)
+	} else {
+		b.ring[b.next] = e
+	}
+	b.next = (b.next + 1) % cap(b.ring)
+	b.total++
+}
+
+// Emitf records an event with a formatted detail string. Safe on nil.
+func (b *Buffer) Emitf(at units.Time, category, name, format string, args ...any) {
+	if b == nil {
+		return
+	}
+	b.Emit(at, category, name, fmt.Sprintf(format, args...))
+}
+
+// Total reports how many events were emitted (including overwritten ones).
+func (b *Buffer) Total() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.total
+}
+
+// Events returns the retained events in chronological order.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	if len(b.ring) < cap(b.ring) {
+		out := make([]Event, len(b.ring))
+		copy(out, b.ring)
+		return out
+	}
+	out := make([]Event, 0, cap(b.ring))
+	out = append(out, b.ring[b.next:]...)
+	out = append(out, b.ring[:b.next]...)
+	return out
+}
+
+// Dump writes the retained events, one per line.
+func (b *Buffer) Dump(w io.Writer) {
+	for _, e := range b.Events() {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// Grep returns the retained events whose rendered line contains substr.
+func (b *Buffer) Grep(substr string) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if strings.Contains(e.String(), substr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

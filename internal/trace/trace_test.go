@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestEmitAndEvents(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 3; i++ {
+		b.Emit(units.Time(i), "cat", "name", "")
+	}
+	ev := b.Events()
+	if len(ev) != 3 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	for i, e := range ev {
+		if e.At != units.Time(i) {
+			t.Fatalf("order broken: %v", ev)
+		}
+	}
+	if b.Total() != 3 {
+		t.Fatalf("total = %d", b.Total())
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 7; i++ {
+		b.Emit(units.Time(i), "c", "n", "")
+	}
+	ev := b.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained = %d", len(ev))
+	}
+	// The three most recent, in order: 4, 5, 6.
+	for i, want := range []units.Time{4, 5, 6} {
+		if ev[i].At != want {
+			t.Fatalf("ring order: %v", ev)
+		}
+	}
+	if b.Total() != 7 {
+		t.Fatalf("total = %d", b.Total())
+	}
+}
+
+func TestNilBufferSafe(t *testing.T) {
+	var b *Buffer
+	b.Emit(0, "c", "n", "")
+	b.Emitf(0, "c", "n", "x=%d", 1)
+	if b.Events() != nil || b.Total() != 0 {
+		t.Fatal("nil buffer should be inert")
+	}
+	if b.Filter("x") != nil {
+		t.Fatal("nil filter chain")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := NewBuffer(8).Filter("keep")
+	b.Emit(1, "keep", "a", "")
+	b.Emit(2, "drop", "b", "")
+	if len(b.Events()) != 1 || b.Events()[0].Category != "keep" {
+		t.Fatalf("filter failed: %v", b.Events())
+	}
+	b.Filter() // clear
+	b.Emit(3, "drop", "c", "")
+	if len(b.Events()) != 2 {
+		t.Fatal("cleared filter should record everything")
+	}
+}
+
+func TestDumpAndGrep(t *testing.T) {
+	b := NewBuffer(8)
+	b.Emitf(units.Time(units.Second), "irq", "bind", "vector=%d", 34)
+	b.Emit(units.Time(2*units.Second), "hotplug", "remove", "")
+	var sb strings.Builder
+	b.Dump(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "irq: bind (vector=34)") || !strings.Contains(out, "hotplug: remove") {
+		t.Fatalf("dump = %q", out)
+	}
+	if got := b.Grep("vector=34"); len(got) != 1 {
+		t.Fatalf("grep = %v", got)
+	}
+	if got := b.Grep("nothing"); len(got) != 0 {
+		t.Fatalf("grep = %v", got)
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity should panic")
+		}
+	}()
+	NewBuffer(0)
+}

@@ -1,0 +1,189 @@
+// Package sriov is the public API of the SR-IOV network-virtualization
+// simulator, a full reproduction of Dong et al., "High Performance Network
+// Virtualization with SR-IOV" (HPCA 2010; extended in JPDC 72(9), 2012).
+//
+// The package assembles the paper's testbed — a 16-thread 2.8 GHz server
+// running a Xen-like hypervisor, ten SR-IOV-capable 1 GbE ports on a PCIe
+// fabric behind a VT-d IOMMU — and exposes the building blocks the paper
+// describes: VF/PF drivers with the §5 interrupt-path optimizations, the PV
+// split-driver and VMDq baselines, and DNIS live migration.
+//
+// Quick start:
+//
+//	tb := sriov.NewTestbed(sriov.Config{Ports: 1, Opts: sriov.AllOptimizations})
+//	g, _ := tb.AddSRIOVGuest("guest-1", sriov.HVM, sriov.Kernel2628, 0, 0, sriov.DefaultAIC())
+//	tb.StartUDP(g, sriov.LineRateUDP)
+//	util, results := tb.Measure(sriov.Warmup, sriov.Window)
+//	fmt.Printf("goodput %v at %.1f%% CPU\n", results[g].Goodput, util.Total)
+//
+// Every table and figure of the paper's evaluation can be regenerated
+// through RunExperiment / Experiments; see EXPERIMENTS.md for the measured
+// vs. reported comparison.
+package sriov
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/drivers"
+	"repro/internal/experiments"
+	"repro/internal/migration"
+	"repro/internal/model"
+	"repro/internal/netstack"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/vmm"
+	"repro/internal/workload"
+)
+
+// Re-exported core types: the testbed and its construction.
+type (
+	// Config parameterizes a Testbed.
+	Config = core.Config
+	// Testbed is the simulated server machine.
+	Testbed = core.Testbed
+	// Guest bundles one VM with its network plumbing.
+	Guest = core.Guest
+	// Utilization is a per-domain CPU breakdown, in percent-of-one-thread.
+	Utilization = core.Utilization
+	// MeasureResult is one guest's goodput measurement.
+	MeasureResult = workload.Result
+)
+
+// NewTestbed builds a simulated server.
+func NewTestbed(cfg Config) *Testbed { return core.NewTestbed(cfg) }
+
+// AggregateGoodput sums goodput across a measurement's results.
+func AggregateGoodput(results map[*Guest]MeasureResult) BitRate {
+	return core.AggregateGoodput(results)
+}
+
+// Domain flavours and kernels.
+type (
+	// DomainType distinguishes HVM, PVM, dom0 and native.
+	DomainType = vmm.DomainType
+	// KernelConfig captures guest-kernel behaviour (MSI masking).
+	KernelConfig = vmm.KernelConfig
+	// Optimizations are the §5 hypervisor switches.
+	Optimizations = vmm.Optimizations
+	// Domain is one VM.
+	Domain = vmm.Domain
+)
+
+// Domain type values.
+const (
+	Dom0   = vmm.Dom0
+	HVM    = vmm.HVM
+	PVM    = vmm.PVM
+	Native = vmm.Native
+)
+
+// Flavor selects the VMM personality: the architecture is VMM-agnostic
+// (§4), so the same drivers run on either.
+type Flavor = vmm.Flavor
+
+// Flavors.
+const (
+	Xen = vmm.Xen
+	KVM = vmm.KVM
+)
+
+// Kernel presets: RHEL5's 2.6.18 masks/unmasks MSI around every interrupt
+// (the §5.1 pathology); 2.6.28 does not.
+var (
+	KernelRHEL5 = vmm.KernelRHEL5
+	Kernel2628  = vmm.Kernel2628
+)
+
+// AllOptimizations enables MSI mask acceleration and EOI acceleration.
+var AllOptimizations = vmm.AllOptimizations
+
+// Interrupt-coalescing policies (§5.3).
+type ITRPolicy = netstack.ITRPolicy
+
+// FixedITR interrupts at a constant rate; DynamicITR is IGB-style
+// moderation; AIC is the paper's adaptive overflow-avoidance policy.
+type (
+	FixedITR   = netstack.FixedITR
+	DynamicITR = netstack.DynamicITR
+	AIC        = netstack.AIC
+)
+
+// DefaultAIC returns AIC with the paper's parameters (bufs=64, r=1.2).
+func DefaultAIC() AIC { return netstack.DefaultAIC() }
+
+// DefaultDynamicITR returns the IGB-style dynamic moderation profile.
+func DefaultDynamicITR() DynamicITR { return netstack.DefaultDynamicITR() }
+
+// Units.
+type (
+	// BitRate is bits per second.
+	BitRate = units.BitRate
+	// Duration is simulated nanoseconds.
+	Duration = units.Duration
+	// Time is a point in simulated time.
+	Time = units.Time
+	// Size is bytes.
+	Size = units.Size
+)
+
+// Common rates and windows.
+const (
+	Mbps = units.Mbps
+	Gbps = units.Gbps
+
+	Millisecond = units.Millisecond
+	Second      = units.Second
+
+	// LineRateUDP is the per-port netperf UDP goodput (957 Mbps).
+	LineRateUDP = model.LineRateUDP
+	// LineRateTCP is the per-port TCP goodput (940 Mbps).
+	LineRateTCP = model.LineRateTCP
+
+	// Warmup and Window are sensible defaults for Measure.
+	Warmup = 300 * units.Millisecond
+	Window = units.Second
+)
+
+// Migration.
+type (
+	// MigrationConfig parameterizes live migration.
+	MigrationConfig = migration.Config
+	// MigrationManager runs migrations on a testbed's hypervisor.
+	MigrationManager = migration.Manager
+	// MigrationResult describes a completed migration.
+	MigrationResult = migration.Result
+	// VFDriver is a guest's virtual-function driver instance.
+	VFDriver = drivers.VFDriver
+	// Bond is the DNIS active-backup bonding driver.
+	Bond = drivers.Bond
+)
+
+// NewMigrationManager creates a migration manager on the testbed.
+func NewMigrationManager(tb *Testbed, cfg MigrationConfig) *MigrationManager {
+	return migration.NewManager(tb.HV, cfg)
+}
+
+// DefaultMigrationConfig returns the paper-calibrated migration parameters.
+func DefaultMigrationConfig() MigrationConfig { return migration.DefaultConfig() }
+
+// Experiments.
+type (
+	// Experiment is one reproducible paper figure.
+	Experiment = experiments.Spec
+	// Figure is an experiment's result: measured series, paper reference
+	// values, and shape checks.
+	Figure = report.Figure
+)
+
+// Experiments lists every reproduced figure, sorted by id.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment reproduces one figure by id ("fig06" ... "fig21").
+func RunExperiment(id string) (*Figure, error) {
+	s, ok := experiments.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig21)", id)
+	}
+	return s.Run(), nil
+}
