@@ -19,6 +19,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/pcie"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/vmm"
 	"repro/internal/workload"
@@ -260,7 +261,17 @@ func (tb *Testbed) AddVMDqGuest(name string, typ vmm.DomainType, k vmm.KernelCon
 // AddBondedGuest creates a DNIS guest: a VF (active) bonded with a PV NIC
 // (standby) on the same port (§4.4).
 func (tb *Testbed) AddBondedGuest(name string, typ vmm.DomainType, k vmm.KernelConfig, port, vf int, policy netstack.ITRPolicy) (*Guest, error) {
-	g, err := tb.AddSRIOVGuest(name, typ, k, port, vf, policy)
+	return tb.AddBondedGuestOn(name, typ, k, port, vf, port, policy)
+}
+
+// AddBondedGuestOn is AddBondedGuest with the PV standby routed through a
+// separately chosen port — the survivable configuration for port-level
+// faults (a link flap on the VF's port must not also kill the standby).
+func (tb *Testbed) AddBondedGuestOn(name string, typ vmm.DomainType, k vmm.KernelConfig, vfPort, vf, pvPort int, policy netstack.ITRPolicy) (*Guest, error) {
+	if pvPort < 0 || pvPort >= len(tb.Ports) {
+		return nil, fmt.Errorf("core: no port %d", pvPort)
+	}
+	g, err := tb.AddSRIOVGuest(name, typ, k, vfPort, vf, policy)
 	if err != nil {
 		return nil, err
 	}
@@ -269,11 +280,20 @@ func (tb *Testbed) AddBondedGuest(name string, typ vmm.DomainType, k vmm.KernelC
 	if err != nil {
 		return nil, err
 	}
-	tb.Netback.AttachWire(tb.Ports[port].PFQueue())
-	tb.PFs[port].SetDom0MAC(pvMAC)
+	tb.Netback.AttachWire(tb.Ports[pvPort].PFQueue())
+	tb.PFs[pvPort].SetDom0MAC(pvMAC)
 	g.PV = pv
-	g.Bond = drivers.NewBond(tb.HV, g.Dom, g.VF, pv, tb.Ports[port])
+	g.Bond = drivers.NewBond(tb.HV, g.Dom, g.VF, pv, tb.Ports[pvPort])
 	return g, nil
+}
+
+// SetTracer installs a trace buffer on the hypervisor and every port, so
+// control-plane, fault and recovery events land in one timeline.
+func (tb *Testbed) SetTracer(b *trace.Buffer) {
+	tb.HV.Tracer = b
+	for _, p := range tb.Ports {
+		p.Tracer = b
+	}
 }
 
 // ReattachVF builds a fresh VF driver instance on (port, vf) for an

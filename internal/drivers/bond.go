@@ -1,7 +1,9 @@
 package drivers
 
 import (
+	"repro/internal/model"
 	"repro/internal/nic"
+	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/vmm"
 )
@@ -26,10 +28,24 @@ type Bond struct {
 	activeVF    bool
 	outageUntil units.Time
 
+	// miimon state: the health poll ticker and the count of consecutive
+	// healthy polls while on the standby (failback gate).
+	monitor  *sim.Ticker
+	upStreak int
+
 	// DroppedInOutage counts packets lost during interface switches.
 	DroppedInOutage int64
 	// Failovers counts slave switches.
 	Failovers int64
+	// FaultFailovers counts failovers the health monitor initiated (a
+	// subset of Failovers; the rest are planned migration switches).
+	FaultFailovers int64
+	// Failbacks counts monitor-initiated switches back to the VF slave.
+	Failbacks int64
+	// LastFailoverAt and LastFailbackAt time-stamp the most recent
+	// monitor-driven switches, for recovery-latency accounting.
+	LastFailoverAt units.Time
+	LastFailbackAt units.Time
 }
 
 // NewBond aggregates the two slaves, VF active.
@@ -55,11 +71,70 @@ func (b *Bond) Ingress(count int, bytes units.Size) {
 		b.DroppedInOutage += int64(count)
 		return
 	}
-	if b.ActiveVF() {
+	// Route by the configured active slave, not by its health: until the
+	// monitor notices a fault and fails over, traffic keeps chasing the
+	// dead VF and is lost at the device — that loss is the point of the
+	// fault model.
+	if b.activeVF && b.vf != nil {
 		b.vf.port.ReceiveFromWire(nic.Batch{Dst: b.vf.MAC(), Count: count, Bytes: bytes})
 		return
 	}
 	b.pvPort.ReceiveFromWire(nic.Batch{Dst: b.pv.MAC(), Count: count, Bytes: bytes})
+}
+
+// StartMonitor begins miimon-style link/health supervision of the slaves
+// (Linux bonding's miimon): every period the active VF's health is polled;
+// a sick VF triggers failover to the PV standby, and MiimonFailbackTicks
+// consecutive healthy polls on the standby trigger failback. period <= 0
+// selects the model default (100 ms).
+func (b *Bond) StartMonitor(period units.Duration) {
+	if period <= 0 {
+		period = model.MiimonPeriod
+	}
+	b.StopMonitor()
+	b.monitor = sim.NewTicker(b.hv.Engine(), period, "bond:miimon", b.poll)
+}
+
+// StopMonitor halts health supervision.
+func (b *Bond) StopMonitor() {
+	if b.monitor != nil {
+		b.monitor.Stop()
+		b.monitor = nil
+	}
+}
+
+// Monitoring reports whether the health monitor is running.
+func (b *Bond) Monitoring() bool { return b.monitor != nil }
+
+func (b *Bond) poll(now units.Time) {
+	b.hv.ChargeGuest(b.dom, "bonding", 1500) // health poll
+	healthy := b.vf != nil && b.vf.Healthy()
+	switch {
+	case b.activeVF && !healthy:
+		b.upStreak = 0
+		b.FaultFailovers++
+		b.LastFailoverAt = now
+		b.hv.Tracer.Emitf(now, "bond", "failover",
+			"VF slave unhealthy, switching to PV (outage %v)", model.FaultFailoverOutage)
+		b.FailoverToPV(model.FaultFailoverOutage)
+		if b.vf != nil {
+			b.vf.TryRecover()
+		}
+	case !b.activeVF && b.vf != nil:
+		if !healthy {
+			b.upStreak = 0
+			b.vf.TryRecover()
+			return
+		}
+		b.upStreak++
+		if b.upStreak >= model.MiimonFailbackTicks {
+			b.upStreak = 0
+			b.Failbacks++
+			b.LastFailbackAt = now
+			b.hv.Tracer.Emitf(now, "bond", "failback", "VF slave healthy again")
+			b.ActivateVF(b.vf)
+		}
+	}
 }
 
 // FailoverToPV switches the active slave to the PV NIC, losing traffic for

@@ -1,0 +1,165 @@
+package drivers
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/netstack"
+	"repro/internal/nic"
+	"repro/internal/units"
+	"repro/internal/vmm"
+)
+
+// vlanApplied reports whether the PF driver holds a (vf, vlan) filter.
+func vlanApplied(pf *PFDriver, vf int, vlan uint16) bool {
+	for _, v := range pf.VFVLANs(vf) {
+		if v == vlan {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMailboxRetryThenSuccess(t *testing.T) {
+	r := newRig(t, vmm.AllOptimizations)
+	d, recv := r.addGuest(t, "g1", vmm.HVM, vmm.Kernel2628)
+	drv := r.attachVF(t, d, 0, nic.MAC(0xaa), recv, netstack.FixedITR(2000))
+	r.eng.Run()
+	if !drv.MACConfirmed {
+		t.Fatal("MAC not confirmed")
+	}
+
+	// Lose the first two VLAN requests; the third transmission gets through.
+	mb := r.port.Mailbox()
+	drops := 0
+	mb.OnSend = func(dir nic.Direction, m nic.Message) nic.SendVerdict {
+		if dir == nic.ToPF && m.Kind == nic.MsgSetVLAN && drops < 2 {
+			drops++
+			return nic.SendVerdict{Drop: true}
+		}
+		return nic.SendVerdict{}
+	}
+	if err := drv.JoinVLAN(100); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if drv.MboxRetries != 2 || drv.MboxTimeouts != 2 {
+		t.Fatalf("retries=%d timeouts=%d, want 2/2", drv.MboxRetries, drv.MboxTimeouts)
+	}
+	if drv.MboxFailures != 0 {
+		t.Fatalf("failures = %d", drv.MboxFailures)
+	}
+	if mb.Dropped != 2 {
+		t.Fatalf("mailbox dropped = %d, want 2", mb.Dropped)
+	}
+	if !vlanApplied(r.pf, 0, 100) {
+		t.Fatal("VLAN join lost despite retries")
+	}
+	if !drv.Healthy() {
+		t.Fatal("driver should be healthy after recovery")
+	}
+}
+
+func TestMailboxRetryExhaustion(t *testing.T) {
+	r := newRig(t, vmm.AllOptimizations)
+	d, recv := r.addGuest(t, "g1", vmm.HVM, vmm.Kernel2628)
+	drv := r.attachVF(t, d, 0, nic.MAC(0xaa), recv, netstack.FixedITR(2000))
+	r.eng.Run()
+
+	// Lose every VLAN request: the driver must give up after
+	// MailboxMaxAttempts and declare the channel dead.
+	mb := r.port.Mailbox()
+	mb.OnSend = func(dir nic.Direction, m nic.Message) nic.SendVerdict {
+		if dir == nic.ToPF && m.Kind == nic.MsgSetVLAN {
+			return nic.SendVerdict{Drop: true}
+		}
+		return nic.SendVerdict{}
+	}
+	if err := drv.JoinVLAN(100); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if drv.MboxFailures != 1 {
+		t.Fatalf("failures = %d, want 1", drv.MboxFailures)
+	}
+	if want := int64(model.MailboxMaxAttempts - 1); drv.MboxRetries != want {
+		t.Fatalf("retries = %d, want %d", drv.MboxRetries, want)
+	}
+	if want := int64(model.MailboxMaxAttempts); drv.MboxTimeouts != want {
+		t.Fatalf("timeouts = %d, want %d", drv.MboxTimeouts, want)
+	}
+	if vlanApplied(r.pf, 0, 100) {
+		t.Fatal("abandoned request must not apply")
+	}
+	if drv.Healthy() {
+		t.Fatal("dead mailbox channel should read unhealthy")
+	}
+
+	// The watchdog path recovers it: FLR, reprogram, re-request the MAC
+	// (which the fault does not drop), channel alive again.
+	drv.TryRecover()
+	r.eng.Run()
+	if drv.Reinits != 1 {
+		t.Fatalf("reinits = %d, want 1", drv.Reinits)
+	}
+	if !drv.MACConfirmed || !drv.Healthy() {
+		t.Fatalf("post-watchdog: macOK=%v healthy=%v", drv.MACConfirmed, drv.Healthy())
+	}
+}
+
+func TestGlobalResetReinitsVF(t *testing.T) {
+	r := newRig(t, vmm.AllOptimizations)
+	d, recv := r.addGuest(t, "g1", vmm.HVM, vmm.Kernel2628)
+	drv := r.attachVF(t, d, 0, nic.MAC(0xaa), recv, netstack.FixedITR(2000))
+	r.eng.Run()
+	if !drv.MACConfirmed || !drv.Queue().IntrEnabled() {
+		t.Fatal("attach incomplete")
+	}
+
+	r.pf.GlobalReset()
+	// Immediately after the broadcast lands the VF is mid-reset.
+	r.eng.RunUntil(r.eng.Now().Add(model.DeviceResetNotice + 10*units.Microsecond))
+	if drv.Healthy() {
+		t.Fatal("VF should be unhealthy during the reset window")
+	}
+	r.eng.Run()
+	if r.pf.GlobalResets != 1 {
+		t.Fatalf("global resets = %d", r.pf.GlobalResets)
+	}
+	if drv.Reinits != 1 {
+		t.Fatalf("reinits = %d, want 1", drv.Reinits)
+	}
+	if drv.PFEvents == 0 {
+		t.Fatal("device-reset notification not received")
+	}
+	if !drv.MACConfirmed || !drv.Queue().IntrEnabled() || !drv.Healthy() {
+		t.Fatalf("post-reset: macOK=%v intr=%v healthy=%v",
+			drv.MACConfirmed, drv.Queue().IntrEnabled(), drv.Healthy())
+	}
+}
+
+func TestWatchdogBackoff(t *testing.T) {
+	r := newRig(t, vmm.AllOptimizations)
+	d, recv := r.addGuest(t, "g1", vmm.HVM, vmm.Kernel2628)
+	drv := r.attachVF(t, d, 0, nic.MAC(0xaa), recv, netstack.FixedITR(2000))
+	r.eng.Run()
+
+	// Disable interrupts behind the driver's back so the device looks dead,
+	// then hammer the watchdog: only the first call may reset.
+	drv.Queue().SetIntrEnabled(false)
+	drv.TryRecover()
+	if drv.Reinits != 1 {
+		t.Fatalf("reinits = %d, want 1", drv.Reinits)
+	}
+	r.eng.Run() // reinit completes, device healthy again
+	drv.Queue().SetIntrEnabled(false)
+	drv.TryRecover() // inside the backoff window → no reset
+	if drv.Reinits != 1 {
+		t.Fatalf("watchdog ignored backoff: reinits = %d", drv.Reinits)
+	}
+	r.eng.RunUntil(r.eng.Now().Add(model.WatchdogResetBackoff + units.Millisecond))
+	drv.TryRecover()
+	if drv.Reinits != 2 {
+		t.Fatalf("watchdog should fire after backoff: reinits = %d", drv.Reinits)
+	}
+}

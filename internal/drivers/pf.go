@@ -9,6 +9,7 @@ package drivers
 import (
 	"fmt"
 
+	"repro/internal/model"
 	"repro/internal/nic"
 	"repro/internal/pcie"
 	"repro/internal/units"
@@ -33,6 +34,7 @@ type PFDriver struct {
 	// Counters.
 	MailboxHandled int64
 	Nacked         int64
+	GlobalResets   int64
 }
 
 // mailboxHandleCycles is dom0's cost to service one VF mailbox request.
@@ -101,9 +103,12 @@ func (d *PFDriver) SetDom0MAC(mac nic.MAC) {
 func (d *PFDriver) handleMailbox(msg nic.Message) {
 	d.MailboxHandled++
 	d.hv.ChargeDom0("pfdriver", mailboxHandleCycles)
+	// Ack/Nack echo the request kind in Arg so a retrying VF driver can
+	// match the response to its pending request.
+	nack := nic.Message{Kind: nic.MsgNack, VF: msg.VF, Arg: uint64(msg.Kind)}
 	if d.InspectRequest != nil && !d.InspectRequest(msg) {
 		d.Nacked++
-		d.port.Mailbox().SendToVF(nic.Message{Kind: nic.MsgNack, VF: msg.VF})
+		d.port.Mailbox().SendToVF(nack)
 		return
 	}
 	switch msg.Kind {
@@ -113,7 +118,7 @@ func (d *PFDriver) handleMailbox(msg nic.Message) {
 		for other, m := range d.vfMACs {
 			if m == mac && other != msg.VF {
 				d.Nacked++
-				d.port.Mailbox().SendToVF(nic.Message{Kind: nic.MsgNack, VF: msg.VF})
+				d.port.Mailbox().SendToVF(nack)
 				return
 			}
 		}
@@ -138,7 +143,7 @@ func (d *PFDriver) handleMailbox(msg nic.Message) {
 	case nic.MsgSetMulticast:
 		// Accepted; no datapath effect in the model.
 	}
-	d.port.Mailbox().SendToVF(nic.Message{Kind: nic.MsgAck, VF: msg.VF})
+	d.port.Mailbox().SendToVF(nic.Message{Kind: nic.MsgAck, VF: msg.VF, Arg: uint64(msg.Kind)})
 }
 
 // VFVLANs reports the VLANs joined by a VF.
@@ -166,4 +171,26 @@ func (d *PFDriver) ShutdownVF(vf int) {
 func (d *PFDriver) NotifyLinkChange() {
 	d.port.Mailbox().Broadcast(nic.MsgLinkChange)
 	d.hv.ChargeDom0("pfdriver", 5000)
+}
+
+// SetLink drives the port's physical link state and forwards the event to
+// the VF drivers — the PF driver owns the PHY, so cable events surface
+// here first.
+func (d *PFDriver) SetLink(up bool) {
+	d.port.SetLink(up)
+	d.NotifyLinkChange()
+}
+
+// GlobalReset models the PF driver resetting the whole device: it first
+// broadcasts the §4.2 "impending global device reset" notification, then
+// after a short notice window wipes every queue's hardware state. VF
+// drivers are expected to quiesce on the notification and re-initialize
+// through FLR afterwards.
+func (d *PFDriver) GlobalReset() {
+	d.GlobalResets++
+	d.port.Mailbox().Broadcast(nic.MsgDeviceReset)
+	d.hv.ChargeDom0("pfdriver", 80000) // igb reset path
+	d.hv.Engine().After(model.DeviceResetNotice, "pf:global-reset", func() {
+		d.port.ResetDevice()
+	})
 }

@@ -40,10 +40,32 @@ type VFDriver struct {
 	// any socket-layer drops.
 	samplePkts int64
 
+	// Mailbox request/ack protocol state (§4.2 made robust): at most one
+	// outstanding request, retransmitted on timeout with exponential
+	// backoff until MailboxMaxAttempts, then the channel is declared dead.
+	mboxPending  *nic.Message
+	mboxAttempts int
+	mboxTimer    *sim.Handle
+	mboxBacklog  []nic.Message
+	mboxDead     bool
+
+	// reinitInFlight guards the FLR quiesce window of Reinit.
+	reinitInFlight bool
+	// lastWatchdog rate-limits watchdog-initiated resets.
+	lastWatchdog units.Time
+
 	// MACConfirmed reflects mailbox acknowledgment from the PF driver.
 	MACConfirmed bool
 	// PFEvents counts PF→VF notifications received.
 	PFEvents int64
+	// MboxRetries counts request retransmissions after a timeout.
+	MboxRetries int64
+	// MboxTimeouts counts response timeouts (including the final one).
+	MboxTimeouts int64
+	// MboxFailures counts requests abandoned after retry exhaustion.
+	MboxFailures int64
+	// Reinits counts FLR-based driver re-initializations.
+	Reinits int64
 }
 
 // VFConfig parameterizes driver attach.
@@ -93,36 +115,27 @@ func AttachVFDriver(hv *vmm.Hypervisor, dom *vmm.Domain, port *nic.Port, vf int,
 		vc.Write16(msiOff+2, ctl|pcie.MSICtlEnable)
 	}
 
-	// Device init through BAR registers, as igbvf would: reset, ring
-	// length, then the throttle below. BAR0 is direct-mapped into the
-	// guest, so these writes cost no VMM intervention.
+	// Device init through BAR registers, as igbvf would: reset first (BAR0
+	// is direct-mapped into the guest, so these writes cost no VMM
+	// intervention), the rest in programDevice below.
 	q.InstallRegisters()
 	hv.GuestMMIOWrite(dom, fn, 0, nic.RegCTRL, nic.CtrlReset)
-	hv.GuestMMIOWrite(dom, fn, 0, nic.RegRDLEN0, uint64(model.RxRingEntries))
 
 	binding, err := hv.BindGuestMSIFromRID(dom, fmt.Sprintf("%s/vf%d", port.Name(), vf), uint16(fn.RID()), d.isr)
 	if err != nil {
 		return nil, err
 	}
 	d.binding = binding
-	// Program MSI-X entry 0 with the vector's message (address/data writes
-	// to the table page trap to the hypervisor).
-	msg := interrupts.NewMSIMessage(binding.Vector())
-	hv.GuestMMIOWrite(dom, fn, nic.MSIXTableBAR, 0, msg.Addr&0xffffffff)
-	hv.GuestMMIOWrite(dom, fn, nic.MSIXTableBAR, 4, msg.Addr>>32)
-	hv.GuestMMIOWrite(dom, fn, nic.MSIXTableBAR, 8, uint64(msg.Data))
 	q.Sink = func(*nic.Queue) { binding.PhysicalMSI() }
 	q.DMACheck = hv.DMACheckFor(dom, fn)
 
-	// Request our MAC through the mailbox; the PF driver polices it.
 	port.Mailbox().SetVFHandler(vf, d.onMailbox)
-	if err := port.Mailbox().SendToPF(nic.Message{Kind: nic.MsgSetMAC, VF: vf, Arg: uint64(cfg.MAC)}); err != nil {
-		return nil, err
-	}
+	d.attached = true
+	d.programDevice()
+	// Request our MAC through the mailbox; the PF driver polices it. Goes
+	// through the ack protocol: timeouts retransmit, exhaustion gives up.
+	d.request(nic.Message{Kind: nic.MsgSetMAC, VF: vf, Arg: uint64(cfg.MAC)})
 
-	// Initialize the throttle assuming line-rate traffic (the driver's
-	// startup assumption); adaptive policies re-sample from there.
-	d.applyRate(cfg.Policy.Rate(model.PacketsPerSecond(model.LineRateUDP, model.FrameSize)))
 	if cfg.Policy.Adaptive() {
 		d.sampler = sim.NewTicker(hv.Engine(), model.AICSamplePeriod, "vf:aic", func(units.Time) {
 			pps := float64(d.samplePkts) / model.AICSamplePeriod.Seconds()
@@ -131,9 +144,23 @@ func AttachVFDriver(hv *vmm.Hypervisor, dom *vmm.Domain, port *nic.Port, vf int,
 			hv.ChargeGuest(dom, "isr", 800) // sampling work
 		})
 	}
-	q.SetIntrEnabled(true)
-	d.attached = true
 	return d, nil
+}
+
+// programDevice performs the register-level device setup shared by first
+// attach and post-FLR re-initialization: ring length, MSI-X entry 0 (the
+// address/data writes to the table page trap to the hypervisor), the
+// interrupt throttle at the driver's line-rate startup assumption, and
+// interrupt enable.
+func (d *VFDriver) programDevice() {
+	fn := d.queue.Function()
+	d.hv.GuestMMIOWrite(d.dom, fn, 0, nic.RegRDLEN0, uint64(model.RxRingEntries))
+	msg := interrupts.NewMSIMessage(d.binding.Vector())
+	d.hv.GuestMMIOWrite(d.dom, fn, nic.MSIXTableBAR, 0, msg.Addr&0xffffffff)
+	d.hv.GuestMMIOWrite(d.dom, fn, nic.MSIXTableBAR, 4, msg.Addr>>32)
+	d.hv.GuestMMIOWrite(d.dom, fn, nic.MSIXTableBAR, 8, uint64(msg.Data))
+	d.applyRate(d.policy.Rate(model.PacketsPerSecond(model.LineRateUDP, model.FrameSize)))
+	d.queue.SetIntrEnabled(true)
 }
 
 // Queue exposes the VF's receive queue.
@@ -199,16 +226,170 @@ func (d *VFDriver) isr() {
 // msixVectCtrl0 is the vector-control dword of MSI-X table entry 0.
 const msixVectCtrl0 = 12
 
+// request posts a VF→PF configuration request through the ack protocol:
+// at most one outstanding request, a per-message timeout with exponential
+// backoff, and bounded retries. Requests issued while another is pending
+// are queued behind it.
+func (d *VFDriver) request(msg nic.Message) {
+	if d.mboxPending != nil {
+		d.mboxBacklog = append(d.mboxBacklog, msg)
+		return
+	}
+	cp := msg
+	d.mboxPending = &cp
+	d.mboxAttempts = 0
+	d.sendPending()
+}
+
+func (d *VFDriver) sendPending() {
+	d.mboxAttempts++
+	// A busy slot means a previous (possibly lost) message still sits in
+	// the hardware slot; the timeout path retries once it drains.
+	_ = d.port.Mailbox().SendToPF(*d.mboxPending)
+	timeout := model.MailboxTimeout << uint(d.mboxAttempts-1)
+	d.mboxTimer = d.hv.Engine().After(timeout, "vf:mbox:timeout", d.onMboxTimeout)
+}
+
+func (d *VFDriver) onMboxTimeout() {
+	if !d.attached || d.mboxPending == nil {
+		return
+	}
+	d.MboxTimeouts++
+	if d.mboxAttempts >= model.MailboxMaxAttempts {
+		// Retry exhaustion: the driver gives up and reports the channel
+		// dead (Healthy goes false; the watchdog may later FLR).
+		d.MboxFailures++
+		d.mboxDead = true
+		d.port.Tracer.Emitf(d.hv.Engine().Now(), "vf", "mbox-dead",
+			"%s: %s abandoned after %d attempts",
+			d.queue.Name(), d.mboxPending.Kind, d.mboxAttempts)
+		d.mboxPending = nil
+		d.mboxBacklog = nil
+		return
+	}
+	d.MboxRetries++
+	d.hv.ChargeGuest(d.dom, "isr", 2000) // retransmit path
+	d.sendPending()
+}
+
+// completeRequest matches an Ack/Nack (whose Arg echoes the request kind)
+// against the pending request, stops the retry clock and starts the next
+// queued request.
+func (d *VFDriver) completeRequest(req nic.MsgKind) {
+	if d.mboxPending == nil || d.mboxPending.Kind != req {
+		return // stale or unsolicited response
+	}
+	d.mboxTimer.Cancel()
+	d.mboxPending = nil
+	d.mboxAttempts = 0
+	d.mboxDead = false // the channel evidently works
+	if len(d.mboxBacklog) > 0 {
+		next := d.mboxBacklog[0]
+		d.mboxBacklog = d.mboxBacklog[1:]
+		d.mboxPending = &next
+		d.mboxAttempts = 0
+		d.sendPending()
+	}
+}
+
+// abortMbox drops all mailbox protocol state (reset/teardown paths).
+func (d *VFDriver) abortMbox() {
+	d.mboxTimer.Cancel()
+	d.mboxPending = nil
+	d.mboxBacklog = nil
+	d.mboxAttempts = 0
+	d.mboxDead = false
+}
+
 func (d *VFDriver) onMailbox(msg nic.Message) {
 	d.hv.ChargeGuest(d.dom, "isr", 3000) // mailbox doorbell handling
 	switch msg.Kind {
-	case nic.MsgAck:
-		d.MACConfirmed = true
-	case nic.MsgNack:
-		d.MACConfirmed = false
-	case nic.MsgLinkChange, nic.MsgDeviceReset, nic.MsgDriverRemove:
+	case nic.MsgAck, nic.MsgNack:
+		req := nic.MsgKind(msg.Arg)
+		if req == nic.MsgSetMAC {
+			d.MACConfirmed = msg.Kind == nic.MsgAck
+		}
+		d.completeRequest(req)
+	case nic.MsgDeviceReset:
+		d.PFEvents++
+		// §4.2: "impending global device reset" — quiesce and schedule a
+		// full re-initialization through FLR.
+		d.Reinit()
+	case nic.MsgLinkChange, nic.MsgDriverRemove:
 		d.PFEvents++
 	}
+}
+
+// Reinit re-initializes the driver after a device-level reset: abandon any
+// mailbox transaction (the hardware slots died with the reset), issue a
+// Function-Level Reset through the mediated config space, wait out the
+// PCIe quiesce window, then reprogram the device and re-request the MAC.
+func (d *VFDriver) Reinit() {
+	if !d.attached || d.reinitInFlight {
+		return
+	}
+	d.reinitInFlight = true
+	d.Reinits++
+	d.MACConfirmed = false
+	d.abortMbox()
+	fn := d.queue.Function()
+	d.port.Tracer.Emitf(d.hv.Engine().Now(), "vf", "reinit",
+		"%s: FLR + driver reset", fn.Name())
+	if off := d.vconfig.FindCapability(pcie.CapIDPCIExp); off != 0 {
+		d.vconfig.Write16(off+pcie.PCIeDevCtlOff, pcie.PCIeDevCtlFLR)
+	}
+	d.hv.ChargeGuest(d.dom, "isr", 50000) // igbvf reset path
+	d.hv.Engine().After(model.FLRLatency, "vf:reinit", func() {
+		d.reinitInFlight = false
+		if !d.attached {
+			return
+		}
+		d.programDevice()
+		d.request(nic.Message{Kind: nic.MsgSetMAC, VF: d.vf, Arg: uint64(d.mac)})
+	})
+}
+
+// Healthy is the health check the bonding monitor polls: the driver is
+// live, the mailbox channel works, the function answers config cycles (a
+// surprise-removed VF reads all-ones), the link is up, and the queue is
+// neither wedged nor mid-reset.
+func (d *VFDriver) Healthy() bool {
+	if !d.attached || d.mboxDead || d.reinitInFlight {
+		return false
+	}
+	if !d.port.LinkUp() {
+		return false
+	}
+	if d.queue.Stalled() || !d.queue.IntrEnabled() {
+		return false
+	}
+	return d.vconfig.Read16(pcie.RegVendorID) != 0xffff
+}
+
+// TryRecover is the driver's watchdog: when the device looks dead but is
+// still reachable, reset it (FLR + reinit), rate-limited so a persistently
+// broken function is not hammered every poll. Recovery from link-down or
+// surprise removal is not the function's to fix, so those cases wait.
+func (d *VFDriver) TryRecover() {
+	if !d.attached || d.reinitInFlight {
+		return
+	}
+	if !d.port.LinkUp() {
+		return
+	}
+	if d.vconfig.Read16(pcie.RegVendorID) == 0xffff {
+		return // surprise-removed: nothing to reset until it returns
+	}
+	if !d.mboxDead && d.queue.IntrEnabled() && !d.queue.Stalled() {
+		return // nothing wrong at the device level
+	}
+	now := d.hv.Engine().Now()
+	if d.lastWatchdog != 0 && now.Sub(d.lastWatchdog) < model.WatchdogResetBackoff {
+		return
+	}
+	d.lastWatchdog = now
+	d.port.Tracer.Emitf(now, "vf", "watchdog", "%s: reset", d.queue.Name())
+	d.Reinit()
 }
 
 // Transmit sends a netperf-style message toward dst via the NIC. Traffic to
@@ -253,9 +434,8 @@ func (d *VFDriver) JoinVLAN(vlan uint16) error {
 	if !d.attached {
 		return fmt.Errorf("drivers: driver detached")
 	}
-	return d.port.Mailbox().SendToPF(nic.Message{
-		Kind: nic.MsgSetVLAN, VF: d.vf, Arg: uint64(vlan),
-	})
+	d.request(nic.Message{Kind: nic.MsgSetVLAN, VF: d.vf, Arg: uint64(vlan)})
+	return nil
 }
 
 // Detach is the guest's response to virtual hot removal (§4.4): quiesce the
@@ -268,6 +448,7 @@ func (d *VFDriver) Detach() {
 	if d.sampler != nil {
 		d.sampler.Stop()
 	}
+	d.abortMbox()
 	d.queue.SetIntrEnabled(false)
 	d.queue.Sink = nil
 	d.queue.DMACheck = nil

@@ -384,6 +384,48 @@ const (
 	MigrationStart = 4500 * units.Millisecond
 )
 
+// ---- Fault handling & recovery ----
+
+const (
+	// MailboxTimeout is the VF driver's initial wait for a PF response
+	// before retransmitting a mailbox request; each retry doubles it
+	// (exponential backoff). The base covers the 2×MailboxLatency round
+	// trip plus dom0 scheduling jitter of the PF driver.
+	MailboxTimeout = 500 * units.Microsecond
+
+	// MailboxMaxAttempts bounds mailbox request (re)transmissions before
+	// the VF driver declares the channel dead and gives up.
+	MailboxMaxAttempts = 5
+
+	// FLRLatency is the quiesce window after initiating a Function-Level
+	// Reset: PCIe requires software to wait 100 ms before re-touching the
+	// function.
+	FLRLatency = 100 * units.Millisecond
+
+	// MiimonPeriod is the bonding driver's default link/health polling
+	// interval (Linux bonding's miimon=100).
+	MiimonPeriod = 100 * units.Millisecond
+
+	// MiimonFailbackTicks is how many consecutive healthy polls the bond
+	// requires before failing back to the VF slave (bonding's updelay).
+	MiimonFailbackTicks = 2
+
+	// FaultFailoverOutage is the interface-switch loss window for an
+	// unplanned VF→PV failover. Much smaller than DNISSwitchOutage: the
+	// standby is already live, so the cost is the slave switch plus the
+	// gratuitous ARP convergence, not a full hot-unplug handshake.
+	FaultFailoverOutage = 100 * units.Millisecond
+
+	// DeviceResetNotice is the gap between the PF driver's "impending
+	// global device reset" broadcast (§4.2) and the reset itself — the
+	// warning time VF drivers get to quiesce.
+	DeviceResetNotice = units.Millisecond
+
+	// WatchdogResetBackoff rate-limits watchdog-initiated VF reinits so a
+	// persistently dead function is not FLR'd every miimon tick.
+	WatchdogResetBackoff = 500 * units.Millisecond
+)
+
 // ---- Residual dom0 overheads ----
 
 const (

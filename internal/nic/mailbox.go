@@ -2,8 +2,10 @@ package nic
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/model"
+	"repro/internal/units"
 )
 
 // MsgKind enumerates the PF↔VF mailbox message types of §4.2: configuration
@@ -22,7 +24,9 @@ const (
 	MsgLinkChange
 	MsgDeviceReset
 	MsgDriverRemove
-	// Acknowledgement.
+	// Acknowledgement. For Ack/Nack the Arg field echoes the MsgKind of
+	// the request being answered, so a retrying VF driver can match
+	// responses to its pending request.
 	MsgAck
 	MsgNack
 )
@@ -59,6 +63,30 @@ type Message struct {
 	Arg  uint64
 }
 
+// Direction tags which way a mailbox message travels (for the fault hook).
+type Direction int
+
+// Mailbox directions.
+const (
+	ToPF Direction = iota
+	ToVF
+)
+
+func (d Direction) String() string {
+	if d == ToPF {
+		return "vf->pf"
+	}
+	return "pf->vf"
+}
+
+// SendVerdict is the fault injector's disposition for one mailbox send: the
+// message can be silently lost in flight (Drop) or see extra in-flight
+// latency (Delay). The zero value delivers normally.
+type SendVerdict struct {
+	Drop  bool
+	Delay units.Duration
+}
+
 // Mailbox models the 82576's hardware PF↔VF channel: "a simple mailbox and
 // doorbell system. The sender writes a message to the mailbox and then
 // 'rings the doorbell', which will interrupt and notify the receiver"
@@ -76,8 +104,21 @@ type Mailbox struct {
 	toPF map[int]*Message // per-VF slot
 	toVF map[int]*Message
 
+	// OnSend, when set, rules on every send before the doorbell is
+	// scheduled — the fault injector's hook.
+	OnSend func(dir Direction, msg Message) SendVerdict
+
 	Sent      int64
 	Doorbells int64
+	// Busy counts sends refused because the slot still held an
+	// unconsumed message.
+	Busy int64
+	// Dropped counts messages lost in flight (injected faults). The
+	// sender saw a successful post; no doorbell ever rings.
+	Dropped int64
+	// BroadcastDropped counts PF→VF notifications lost during Broadcast
+	// because the target slot was busy.
+	BroadcastDropped int64
 }
 
 func newMailbox(p *Port) *Mailbox {
@@ -95,48 +136,109 @@ func (m *Mailbox) SetVFHandler(vf int, h func(Message)) { m.vfHandlers[vf] = h }
 // ClearVFHandler removes a VF's handler (driver teardown).
 func (m *Mailbox) ClearVFHandler(vf int) { delete(m.vfHandlers, vf) }
 
+// verdict consults the fault hook, counting and tracing a drop.
+func (m *Mailbox) verdict(dir Direction, msg Message) SendVerdict {
+	if m.OnSend == nil {
+		return SendVerdict{}
+	}
+	v := m.OnSend(dir, msg)
+	if v.Drop {
+		m.Dropped++
+		m.port.Tracer.Emitf(m.port.eng.Now(), "mailbox", "drop",
+			"%s %s vf=%d lost in flight", dir, msg.Kind, msg.VF)
+	}
+	return v
+}
+
 // SendToPF posts a VF→PF message and rings the PF's doorbell. Delivery
 // takes MailboxLatency of simulated time.
 func (m *Mailbox) SendToPF(msg Message) error {
 	if m.toPF[msg.VF] != nil {
+		m.Busy++
 		return fmt.Errorf("nic: VF%d→PF mailbox busy", msg.VF)
 	}
-	cp := msg
-	m.toPF[msg.VF] = &cp
-	m.Sent++
-	m.port.eng.After(model.MailboxLatency, "nic:mbox:pf", func() {
-		m.Doorbells++
-		stored := m.toPF[msg.VF]
-		m.toPF[msg.VF] = nil
-		if m.PFHandler != nil && stored != nil {
-			m.PFHandler(*stored)
-		}
-	})
-	return nil
+	v := m.verdict(ToPF, msg)
+	if v.Drop {
+		return nil // the sender believes it was posted
+	}
+	return m.post(m.toPF, true, msg, model.MailboxLatency+v.Delay, "nic:mbox:pf")
 }
 
 // SendToVF posts a PF→VF message and rings that VF's doorbell.
 func (m *Mailbox) SendToVF(msg Message) error {
 	if m.toVF[msg.VF] != nil {
+		m.Busy++
 		return fmt.Errorf("nic: PF→VF%d mailbox busy", msg.VF)
 	}
+	v := m.verdict(ToVF, msg)
+	if v.Drop {
+		return nil
+	}
+	return m.post(m.toVF, false, msg, model.MailboxLatency+v.Delay, "nic:mbox:vf")
+}
+
+// post stores the message in its slot and schedules the doorbell. The
+// closure re-reads the slot so a reset that clears it in the meantime also
+// suppresses the delivery.
+func (m *Mailbox) post(slots map[int]*Message, toPF bool, msg Message, delay units.Duration, label string) error {
 	cp := msg
-	m.toVF[msg.VF] = &cp
+	slots[msg.VF] = &cp
 	m.Sent++
-	m.port.eng.After(model.MailboxLatency, "nic:mbox:vf", func() {
+	m.port.eng.After(delay, label, func() {
+		stored := slots[msg.VF]
+		if stored == nil {
+			return
+		}
+		slots[msg.VF] = nil
 		m.Doorbells++
-		stored := m.toVF[msg.VF]
-		m.toVF[msg.VF] = nil
-		if h := m.vfHandlers[msg.VF]; h != nil && stored != nil {
+		if toPF {
+			if m.PFHandler != nil {
+				m.PFHandler(*stored)
+			}
+		} else if h := m.vfHandlers[msg.VF]; h != nil {
 			h(*stored)
 		}
 	})
 	return nil
 }
 
-// Broadcast sends a PF→VF notification to every VF with a handler.
-func (m *Mailbox) Broadcast(kind MsgKind) {
+// Broadcast sends a PF→VF notification to every VF with a registered
+// handler, in ascending VF order (the hardware rings doorbells by VF
+// index; iteration order must not leak Go map randomness into the event
+// schedule). It reports how many doorbells were actually posted; failures
+// (busy slots) are counted in BroadcastDropped and traced.
+func (m *Mailbox) Broadcast(kind MsgKind) int {
+	vfs := make([]int, 0, len(m.vfHandlers))
 	for vf := range m.vfHandlers {
-		m.SendToVF(Message{Kind: kind, VF: vf})
+		vfs = append(vfs, vf)
+	}
+	sort.Ints(vfs)
+	posted := 0
+	for _, vf := range vfs {
+		if err := m.SendToVF(Message{Kind: kind, VF: vf}); err != nil {
+			m.BroadcastDropped++
+			m.port.Tracer.Emitf(m.port.eng.Now(), "mailbox", "broadcast-drop",
+				"%s to VF%d: %v", kind, vf, err)
+			continue
+		}
+		posted++
+	}
+	return posted
+}
+
+// clearVF wipes both direction slots of one VF: in-flight messages die with
+// the function (FLR, surprise removal).
+func (m *Mailbox) clearVF(vf int) {
+	m.toPF[vf] = nil
+	m.toVF[vf] = nil
+}
+
+// clearAll wipes every slot (global device reset).
+func (m *Mailbox) clearAll() {
+	for vf := range m.toPF {
+		m.toPF[vf] = nil
+	}
+	for vf := range m.toVF {
+		m.toVF[vf] = nil
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/pcie"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -44,13 +45,14 @@ type arrivalRec struct {
 
 // QueueStats are the per-queue counters.
 type QueueStats struct {
-	RxPackets  int64
-	RxBytes    units.Size
-	RxDropped  int64 // ring overflow
-	DMAFaults  int64 // IOMMU-rejected deliveries
-	Interrupts int64
-	TxPackets  int64
-	TxBytes    units.Size
+	RxPackets    int64
+	RxBytes      units.Size
+	RxDropped    int64 // ring overflow
+	DMAFaults    int64 // IOMMU-rejected deliveries
+	StallDropped int64 // lost while the DMA engine was wedged
+	Interrupts   int64
+	TxPackets    int64
+	TxBytes      units.Size
 }
 
 // Queue is the receive side of one function (PF or VF): a descriptor ring,
@@ -83,6 +85,10 @@ type Queue struct {
 	masked         bool
 	throttledUntil units.Time
 	timer          *sim.Handle
+
+	// stalled wedges the queue's DMA engine (injected fault): deliveries
+	// are lost and no interrupts fire until cleared.
+	stalled bool
 
 	// Sink receives the MSI: the hypervisor's physical-interrupt entry
 	// point, or the native OS's ISR when not virtualized.
@@ -146,6 +152,53 @@ func (q *Queue) SetIntrEnabled(on bool) {
 	}
 }
 
+// IntrEnabled reports whether MSI generation is on — false between a reset
+// and the driver's re-initialization, which health monitors treat as "the
+// slave is down".
+func (q *Queue) IntrEnabled() bool { return q.intrEnabled }
+
+// SetStalled wedges or unwedges the queue's DMA engine (fault injection).
+// While stalled, deliveries are lost and counted in StallDropped; clearing
+// the stall lets pending ring occupancy interrupt again.
+func (q *Queue) SetStalled(s bool) {
+	if q.stalled == s {
+		return
+	}
+	q.stalled = s
+	q.port.Tracer.Emitf(q.port.eng.Now(), "nic", "stall",
+		"%s stalled=%v", q.name, s)
+	if !s {
+		q.maybeInterrupt()
+	}
+}
+
+// Stalled reports whether the DMA engine is wedged.
+func (q *Queue) Stalled() bool { return q.stalled }
+
+// ResetHW clears the queue's hardware state the way an FLR or global device
+// reset does: ring, interrupt/throttle state, BAR registers and the MSI-X
+// table. Host-side wiring (Sink, DMACheck, DirectDeliver) survives — those
+// model the IOMMU context and interrupt routing, which a function reset
+// does not touch.
+func (q *Queue) ResetHW() {
+	q.occupied = 0
+	q.occBytes = 0
+	q.arrivals = nil
+	q.intrEnabled = false
+	q.masked = false
+	q.itrInterval = 0
+	q.throttledUntil = 0
+	q.timer.Cancel()
+	if q.regs != nil {
+		q.regs.resetHW()
+	}
+	if q.msix != nil {
+		for i := range q.msix.entries {
+			q.msix.entries[i] = msixEntry{}
+		}
+	}
+}
+
 // SetMasked reflects the guest's MSI mask state into the queue. Unmasking
 // with packets pending fires immediately (subject to the throttle).
 func (q *Queue) SetMasked(m bool) {
@@ -161,6 +214,10 @@ func (q *Queue) Masked() bool { return q.masked }
 // deliver places a batch in the ring, dropping what does not fit, then
 // considers raising an interrupt.
 func (q *Queue) deliver(b Batch) {
+	if q.stalled {
+		q.Stats.StallDropped += int64(b.Count)
+		return
+	}
 	if q.DMACheck != nil {
 		if err := q.DMACheck(b.Bytes); err != nil {
 			q.Stats.DMAFaults += int64(b.Count)
@@ -232,7 +289,7 @@ func (q *Queue) Drain(max int) (int, units.Size) {
 func (q *Queue) LastDrainWait() units.Duration { return q.lastDrainWait }
 
 func (q *Queue) maybeInterrupt() {
-	if !q.intrEnabled || q.masked || q.Sink == nil || q.occupied == 0 {
+	if !q.intrEnabled || q.masked || q.stalled || q.Sink == nil || q.occupied == 0 {
 		return
 	}
 	now := q.port.eng.Now()
@@ -262,6 +319,13 @@ type Port struct {
 	eng  *sim.Engine
 	name string
 	rate units.BitRate
+
+	// linkUp is the physical link state; faults flap it. Starts up.
+	linkUp bool
+
+	// Tracer, when set, receives link/stall/FLR/mailbox fault events.
+	// Nil-safe: trace.Buffer methods accept a nil receiver.
+	Tracer *trace.Buffer
 
 	dev *pcie.Device
 	pf  *pcie.Function
@@ -324,10 +388,11 @@ func New(eng *sim.Engine, cfg Config) *Port {
 		panic("nic: 82576 supports at most 8 VFs per port")
 	}
 	p := &Port{
-		eng:  eng,
-		name: cfg.Name,
-		rate: cfg.Rate,
-		l2:   make(map[l2Key]*Queue),
+		eng:    eng,
+		name:   cfg.Name,
+		rate:   cfg.Rate,
+		linkUp: true,
+		l2:     make(map[l2Key]*Queue),
 	}
 
 	pf := pcie.NewFunction(cfg.Name, pcie.MakeRID(0, 0, 0), 0x8086, 0x10c9)
@@ -350,8 +415,11 @@ func New(eng *sim.Engine, cfg Config) *Port {
 		vf.SetBARSize(MSIXTableBAR, 0x1000)
 		pcie.AddMSIXCap(vf.Config(), 0x70, 3, MSIXTableBAR, 0)
 		pcie.AddMSICap(vf.Config(), 0x50, 0)
+		pcie.AddPCIeCap(vf.Config(), 0xa0)
 		q := &Queue{port: p, fn: vf, name: fmt.Sprintf("%s/vf%d", cfg.Name, i), ringCap: cfg.RingCap}
 		p.vfQueues = append(p.vfQueues, q)
+		idx := i
+		vf.OnFLR = func() { p.flrVF(idx) }
 	}
 
 	p.mailbox = newMailbox(p)
@@ -383,6 +451,42 @@ func (p *Port) Name() string { return p.name }
 
 // Rate reports the line rate.
 func (p *Port) Rate() units.BitRate { return p.rate }
+
+// SetLink forces the physical link state (cable pull / injected flap).
+// While down, wire traffic in both directions is lost; the STATUS register
+// reflects the state so drivers and health monitors can observe it.
+func (p *Port) SetLink(up bool) {
+	if p.linkUp == up {
+		return
+	}
+	p.linkUp = up
+	p.Tracer.Emitf(p.eng.Now(), "nic", "link", "%s up=%v", p.name, up)
+}
+
+// LinkUp reports the physical link state.
+func (p *Port) LinkUp() bool { return p.linkUp }
+
+// flrVF is the device model's response to VF i's Function-Level Reset: its
+// queue's hardware state is wiped and any in-flight mailbox messages for
+// the function die with it.
+func (p *Port) flrVF(i int) {
+	q := p.vfQueues[i]
+	q.ResetHW()
+	p.mailbox.clearVF(i)
+	p.Tracer.Emitf(p.eng.Now(), "nic", "flr", "%s", q.name)
+}
+
+// ResetDevice is a global device reset: every queue (PF and VF) loses its
+// hardware state and every in-flight mailbox message is destroyed. The PF
+// driver is expected to have broadcast MsgDeviceReset beforehand (§4.2).
+func (p *Port) ResetDevice() {
+	p.pfQueue.ResetHW()
+	for _, q := range p.vfQueues {
+		q.ResetHW()
+	}
+	p.mailbox.clearAll()
+	p.Tracer.Emitf(p.eng.Now(), "nic", "device-reset", "%s", p.name)
+}
 
 // Device returns the port's PCIe device for fabric attachment.
 func (p *Port) Device() *pcie.Device { return p.dev }
@@ -441,6 +545,10 @@ func (p *Port) ClassifyVLAN(mac MAC, vlan uint16) (*Queue, bool) {
 // serializes at line rate; frames to unknown MACs are dropped (no
 // promiscuous default).
 func (p *Port) ReceiveFromWire(b Batch) {
+	if !p.linkUp {
+		p.WireRxDropped += int64(b.Count)
+		return
+	}
 	ttime := units.TransferTime(b.Bytes, p.rate)
 	now := p.eng.Now()
 	start := now
@@ -497,6 +605,10 @@ func (p *Port) SendInternal(src *Queue, b Batch) (units.Time, bool) {
 // the transfer time. Like the receive side, a sender overdriving the line
 // by more than a coalescing interval loses the excess.
 func (p *Port) TransmitToWire(src *Queue, b Batch) bool {
+	if !p.linkUp {
+		p.WireTxDropped += int64(b.Count)
+		return false
+	}
 	now := p.eng.Now()
 	start := now
 	if p.wireTxBusyUntil > start {

@@ -87,7 +87,10 @@ func (q *Queue) regRead(off uint64) uint64 {
 	case off == RegCTRL:
 		return r.ctrl
 	case off == RegSTATUS:
-		return StatusLinkUp
+		if q.port.linkUp {
+			return StatusLinkUp
+		}
+		return 0
 	case off == RegEITR0:
 		return r.eitrUS
 	case off == RegRDH0:
@@ -150,6 +153,18 @@ func (q *Queue) regWrite(off uint64, val uint64) {
 	case off >= RegVMBMem && off < RegVMBMem+32:
 		r.mbox[(off-RegVMBMem)/4] = uint32(val)
 	}
+}
+
+// resetHW wipes the register file the way an FLR does, keeping the
+// diagnostic reset/RDT counters (they are model bookkeeping, not device
+// state).
+func (r *registerFile) resetHW() {
+	r.ctrl = 0
+	r.eitrUS = 0
+	r.rdt = 0
+	r.mbox = [8]uint32{}
+	r.mboxDB = 0
+	r.resets++
 }
 
 // Resets reports how many device resets the queue has seen.

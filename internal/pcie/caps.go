@@ -99,6 +99,66 @@ func (m MSICap) Masked(vector int) bool {
 	return m.cfg.Read32(m.off+16)&(1<<uint(vector)) != 0
 }
 
+// ---- PCI Express capability (ID 0x10) ----
+//
+// Layout (subset the model uses):
+//   +0  cap id / next
+//   +2  PCI Express Capabilities
+//   +4  Device Capabilities   (bit 28 = Function Level Reset capable)
+//   +8  Device Control        (bit 15 = Initiate Function Level Reset)
+//   +10 Device Status
+//
+// FLR is the recovery primitive of the fault model: writing Initiate FLR
+// resets the function's own state (rings, ITR, MSI-X table) without
+// touching its siblings — exactly what a VF driver needs after the PF
+// announces a device reset, and what the host needs to sanitize a VF
+// between assignments.
+
+const pcieBodySize = 12
+
+// PCIe capability register offsets (relative to the capability) and bits.
+const (
+	PCIeDevCapOff = 4
+	PCIeDevCtlOff = 8
+
+	PCIeDevCapFLR uint32 = 1 << 28
+	PCIeDevCtlFLR uint16 = 1 << 15
+)
+
+// PCIeCap is a typed view of a PCI Express capability.
+type PCIeCap struct {
+	cfg *ConfigSpace
+	off int
+}
+
+// AddPCIeCap installs a PCI Express capability at off, advertising FLR.
+func AddPCIeCap(cfg *ConfigSpace, off int) PCIeCap {
+	cfg.AddCapability(CapIDPCIExp, off, pcieBodySize)
+	cfg.writeRaw32(off+PCIeDevCapOff, PCIeDevCapFLR)
+	return PCIeCap{cfg: cfg, off: off}
+}
+
+// PCIeCapAt returns a view of the PCI Express capability found in cfg.
+func PCIeCapAt(cfg *ConfigSpace) (PCIeCap, bool) {
+	off := cfg.FindCapability(CapIDPCIExp)
+	if off == 0 {
+		return PCIeCap{}, false
+	}
+	return PCIeCap{cfg: cfg, off: off}, true
+}
+
+// Offset reports the capability's config-space offset.
+func (c PCIeCap) Offset() int { return c.off }
+
+// FLRCapable reports whether Device Capabilities advertises FLR.
+func (c PCIeCap) FLRCapable() bool {
+	return c.cfg.Read32(c.off+PCIeDevCapOff)&PCIeDevCapFLR != 0
+}
+
+// DevCtlOffset reports the config-space offset of Device Control — where
+// software writes Initiate FLR.
+func (c PCIeCap) DevCtlOffset() int { return c.off + PCIeDevCtlOff }
+
 // ---- MSI-X capability (ID 0x11) ----
 //
 // Layout:

@@ -27,6 +27,10 @@ type Function struct {
 	// in BAR space (doorbells, interrupt throttle registers, ...).
 	OnMMIOWrite func(bar int, off uint64, val uint64)
 	OnMMIORead  func(bar int, off uint64) uint64
+	// OnFLR fires when a config write sets Initiate Function Level Reset
+	// in the PCI Express capability; the device model resets the
+	// function's hardware state. The bit is self-clearing.
+	OnFLR func()
 }
 
 // NewFunction creates a function with a fresh config space.
@@ -107,6 +111,7 @@ func (f *Function) ConfigWrite32(off int, v uint32) {
 	if f.OnConfigWrite != nil {
 		f.OnConfigWrite(off, 4, v)
 	}
+	f.checkFLR(off, 4, v)
 }
 
 // ConfigWrite16 performs a 16-bit config write and fires the device hook.
@@ -115,6 +120,30 @@ func (f *Function) ConfigWrite16(off int, v uint16) {
 	if f.OnConfigWrite != nil {
 		f.OnConfigWrite(off, 2, uint32(v))
 	}
+	f.checkFLR(off, 2, uint32(v))
+}
+
+// checkFLR detects a write setting Initiate FLR in the PCI Express
+// capability's Device Control register, self-clears the bit (the reset
+// completes "immediately" from config space's point of view) and fires the
+// device hook.
+func (f *Function) checkFLR(off, size int, v uint32) {
+	if f.OnFLR == nil {
+		return
+	}
+	cap, ok := PCIeCapAt(f.cfg)
+	if !ok {
+		return
+	}
+	ctl := cap.DevCtlOffset()
+	if off > ctl || off+size <= ctl {
+		return
+	}
+	if uint16(v>>(uint(ctl-off)*8))&PCIeDevCtlFLR == 0 {
+		return
+	}
+	f.cfg.Write16(ctl, f.cfg.Read16(ctl)&^PCIeDevCtlFLR)
+	f.OnFLR()
 }
 
 // MMIOWrite dispatches a write to a BAR-relative register.

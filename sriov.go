@@ -27,10 +27,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/drivers"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/migration"
 	"repro/internal/model"
 	"repro/internal/netstack"
 	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/vmm"
 	"repro/internal/workload"
@@ -167,6 +169,43 @@ func NewMigrationManager(tb *Testbed, cfg MigrationConfig) *MigrationManager {
 // DefaultMigrationConfig returns the paper-calibrated migration parameters.
 func DefaultMigrationConfig() MigrationConfig { return migration.DefaultConfig() }
 
+// Fault injection: deterministic robustness scenarios against the testbed.
+type (
+	// FaultInjector schedules faults as ordinary simulation events.
+	FaultInjector = fault.Injector
+	// FaultScenario is one scheduled fault.
+	FaultScenario = fault.Scenario
+	// FaultKind enumerates the injectable fault types.
+	FaultKind = fault.Kind
+	// TraceBuffer records timestamped simulation events.
+	TraceBuffer = trace.Buffer
+)
+
+// Fault kinds.
+const (
+	LinkFlap         = fault.LinkFlap
+	MailboxDrop      = fault.MailboxDrop
+	MailboxDelay     = fault.MailboxDelay
+	QueueStall       = fault.QueueStall
+	DeviceReset      = fault.DeviceReset
+	SurpriseRemoveVF = fault.SurpriseRemoveVF
+)
+
+// NewFaultInjector creates an injector watching every port of the testbed;
+// FaultScenario.Port indexes the testbed's ports. tracer may be nil — pass
+// the same buffer to Testbed.SetTracer to interleave injections with the
+// device- and driver-side recovery events.
+func NewFaultInjector(tb *Testbed, tracer *TraceBuffer) *FaultInjector {
+	in := fault.NewInjector(tb.Eng, tracer)
+	for i := range tb.Ports {
+		in.Watch(tb.Ports[i], tb.PFs[i])
+	}
+	return in
+}
+
+// NewTrace creates a trace buffer holding up to capacity events.
+func NewTrace(capacity int) *TraceBuffer { return trace.NewBuffer(capacity) }
+
 // Experiments.
 type (
 	// Experiment is one reproducible paper figure.
@@ -179,11 +218,11 @@ type (
 // Experiments lists every reproduced figure, sorted by id.
 func Experiments() []Experiment { return experiments.All() }
 
-// RunExperiment reproduces one figure by id ("fig06" ... "fig21").
+// RunExperiment reproduces one figure by id ("fig06" ... "fig21", "faults").
 func RunExperiment(id string) (*Figure, error) {
 	s, ok := experiments.ByID(id)
 	if !ok {
-		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig21)", id)
+		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig21 or faults)", id)
 	}
 	return s.Run(), nil
 }

@@ -28,7 +28,7 @@ func TestQuickstartFlow(t *testing.T) {
 
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
-		"ext10g", "extrr",
+		"ext10g", "extrr", "faults",
 		"fig06", "fig07", "fig08", "fig09", "fig10", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21",
