@@ -1,0 +1,60 @@
+// Command benchdiff is the perf-regression gate: it diffs two BENCH.json
+// files (as emitted by `sriovsim -bench-out`) and exits non-zero when the new
+// one regresses beyond the thresholds.
+//
+// Usage:
+//
+//	benchdiff [-threshold 25] [-metric-threshold 0.1] [-warn-only] base.json new.json
+//
+// Wall-clock figures (per-experiment wall, events/sec, go-bench ns/op) use
+// -threshold (percent); deterministic headline metrics use -metric-threshold,
+// tight by default because any drift in a seeded simulation means the model's
+// behavior changed. -warn-only prints the report but always exits zero (for
+// non-blocking CI introduction).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "allowed wall-clock slowdown in percent (0 = default 25)")
+	metricThreshold := flag.Float64("metric-threshold", 0, "allowed headline-metric drift in percent (0 = default 0.1)")
+	warnOnly := flag.Bool("warn-only", false, "report regressions but exit zero")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] base.json new.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	base, err := bench.Read(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cur, err := bench.Read(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	r := bench.Compare(base, cur, bench.CompareOptions{
+		WallThresholdPct:   *threshold,
+		MetricThresholdPct: *metricThreshold,
+	})
+	fmt.Printf("base: %s\nnew:  %s\n\n%s", base.Summary(), cur.Summary(), r)
+	if r.Failed() {
+		if *warnOnly {
+			fmt.Println("\nbenchdiff: regressions found (warn-only, not failing)")
+			return
+		}
+		fmt.Println("\nbenchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}

@@ -2,9 +2,16 @@
 //
 // Usage:
 //
-//	sriovsim -fig 12          # reproduce one figure and print the report
-//	sriovsim -all             # reproduce everything (EXPERIMENTS.md content)
-//	sriovsim -list            # list available experiments
+//	sriovsim -fig 12                 # reproduce one figure and print the report
+//	sriovsim -all                    # reproduce everything (EXPERIMENTS.md content)
+//	sriovsim -all -parallel 8        # shard experiments across 8 workers
+//	sriovsim -all -bench-out BENCH.json  # also emit the benchmark record
+//	sriovsim -all -profile out       # write out.cpu.pprof / out.heap.pprof
+//	sriovsim -list                   # list available experiments
+//
+// Output is byte-identical at any -parallel value: experiments shard into
+// independent series points, each simulated on its own deterministically
+// seeded engine.
 //
 // Exit status is non-zero if any shape check fails.
 package main
@@ -13,7 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
+
+	"repro/internal/bench"
+	"repro/internal/runner"
+	"repro/internal/workload"
 
 	sriov "repro"
 )
@@ -23,47 +36,161 @@ func main() {
 	all := flag.Bool("all", false, "reproduce every figure")
 	list := flag.Bool("list", false, "list available experiments")
 	csv := flag.Bool("csv", false, "emit the measured series as CSV instead of the report")
+	parallel := flag.Int("parallel", 0, "worker count for sharding experiments (0 = GOMAXPROCS)")
+	benchOut := flag.String("bench-out", "", "write a BENCH.json benchmark record to this file")
+	goBench := flag.String("gobench", "", "merge `go test -bench` output from this file into -bench-out")
+	profile := flag.String("profile", "", "write PREFIX.cpu.pprof and PREFIX.heap.pprof profiles")
+	quiet := flag.Bool("q", false, "suppress per-task progress on stderr")
 	flag.Parse()
 
 	switch {
 	case *list:
 		for _, s := range sriov.Experiments() {
-			fmt.Printf("%-8s %s\n", s.ID, s.Title)
+			kind := "whole"
+			if s.Parallelizable() {
+				kind = fmt.Sprintf("%d points", len(s.Points))
+			}
+			fmt.Printf("%-8s %-10s %s\n", s.ID, kind, s.Title)
 		}
 	case *all:
-		failed := 0
-		for _, s := range sriov.Experiments() {
-			fmt.Fprintf(os.Stderr, "running %s...\n", s.ID)
-			f := s.Run()
-			fmt.Println(f.Markdown())
-			if !f.AllChecksPass() {
-				failed++
-			}
-		}
-		if failed > 0 {
-			fmt.Fprintf(os.Stderr, "%d figure(s) had failing shape checks\n", failed)
-			os.Exit(1)
-		}
+		os.Exit(runSuite(nil, *parallel, *csv, *quiet, *benchOut, *goBench, *profile))
 	case *fig != "":
 		id := *fig
 		if _, err := strconv.Atoi(id); err == nil {
 			id = fmt.Sprintf("fig%02s", id)
 		}
-		f, err := sriov.RunExperiment(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if *csv {
-			fmt.Print(f.CSV())
-		} else {
-			fmt.Println(f.Markdown())
-		}
-		if !f.AllChecksPass() {
-			os.Exit(1)
-		}
+		os.Exit(runSuite([]string{id}, *parallel, *csv, *quiet, *benchOut, *goBench, *profile))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runSuite runs the named experiments (all when ids is nil) through the
+// worker-pool runner, prints each figure, and optionally emits profiles and a
+// BENCH.json record. Returns the process exit code.
+func runSuite(ids []string, parallel int, csv, quiet bool, benchOut, goBenchPath, profilePrefix string) int {
+	stopCPU, err := startCPUProfile(profilePrefix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	opts := runner.Options{Parallel: parallel}
+	if !quiet {
+		opts.Progress = func(line string) { fmt.Fprintf(os.Stderr, "running %s\n", line) }
+	}
+
+	// Deltas around the run feed the BENCH totals.
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	packetsBefore := workload.TotalPackets()
+
+	var sum *runner.Summary
+	if ids == nil {
+		sum = runner.RunAll(opts)
+	} else {
+		sum, err = runner.RunIDs(ids, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	packets := workload.TotalPackets() - packetsBefore
+
+	stopCPU()
+	if err := writeHeapProfile(profilePrefix); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	for _, r := range sum.Results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, r.Err)
+			continue
+		}
+		if csv {
+			fmt.Print(r.Figure.CSV())
+		} else {
+			fmt.Println(r.Figure.Markdown())
+		}
+	}
+
+	if benchOut != "" {
+		f := bench.Collect(sum, packets, msAfter.TotalAlloc-msBefore.TotalAlloc, msAfter.Mallocs-msBefore.Mallocs)
+		if goBenchPath != "" {
+			gb, err := mergeGoBench(goBenchPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			f.GoBench = gb
+		}
+		if err := bench.Write(benchOut, f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "bench: %s\nbench: wrote %s\n", f.Summary(), benchOut)
+	}
+
+	if failed := sum.Failed(); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed or had failing shape checks:\n", len(failed))
+		for _, r := range failed {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "  %s: %v\n", r.ID, r.Err)
+			} else {
+				for _, c := range r.Figure.FailedChecks() {
+					fmt.Fprintf(os.Stderr, "  %s: %s (%s)\n", r.ID, c.Name, c.Detail)
+				}
+			}
+		}
+		return 1
+	}
+	return 0
+}
+
+func mergeGoBench(path string) ([]bench.GoBenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bench.ParseGoBench(f)
+}
+
+// startCPUProfile begins CPU profiling when prefix is non-empty; the returned
+// stop function is a no-op otherwise.
+func startCPUProfile(prefix string) (stop func(), err error) {
+	if prefix == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile snapshots the heap when prefix is non-empty.
+func writeHeapProfile(prefix string) error {
+	if prefix == "" {
+		return nil
+	}
+	f, err := os.Create(prefix + ".heap.pprof")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // get up-to-date live-object statistics
+	return pprof.WriteHeapProfile(f)
 }

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func baseFile() *File {
+	return &File{
+		Schema: Schema,
+		Experiments: []Experiment{
+			{
+				ID: "fig08", Title: "CPU vs ITR", WallNS: 1_000_000_000, Tasks: 5, ChecksPass: true,
+				Metrics: []report.Metric{
+					{Series: "cpu", Unit: "%", Value: 50},
+					{Series: "throughput", Unit: "Mbps", Value: 9000},
+				},
+			},
+			{
+				ID: "fig20", Title: "migration", WallNS: 500_000_000, Tasks: 1, ChecksPass: true,
+				Metrics: []report.Metric{{Series: "downtime", Unit: "ms", Value: 300}},
+			},
+		},
+		GoBench: []GoBenchResult{
+			{Name: "BenchmarkFig16-8", N: 10, Metrics: map[string]float64{"ns/op": 1000, "B/op": 64}},
+		},
+		Totals: Totals{WallNS: 1_500_000_000, SimEvents: 1_000_000, EventsPerSec: 666_666},
+	}
+}
+
+// clone deep-copies via the JSON round trip the comparator consumes anyway.
+func clone(t *testing.T, f *File) *File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	base := baseFile()
+	r := Compare(base, clone(t, base), CompareOptions{})
+	if r.Failed() {
+		t.Fatalf("identical files failed: %s", r)
+	}
+	if len(r.Improvements) != 0 || len(r.Warnings) != 0 {
+		t.Fatalf("identical files produced noise: %s", r)
+	}
+}
+
+func TestCompareWallRegression(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Experiments[0].WallNS = 2 * base.Experiments[0].WallNS // +100% > 25%
+	r := Compare(base, cur, CompareOptions{})
+	if !r.Failed() || len(r.Regressions) != 1 {
+		t.Fatalf("wall regression not caught: %s", r)
+	}
+	if !strings.Contains(r.Regressions[0], "fig08") {
+		t.Fatalf("wrong experiment blamed: %s", r.Regressions[0])
+	}
+}
+
+func TestCompareWallWithinThreshold(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Experiments[0].WallNS = base.Experiments[0].WallNS * 110 / 100 // +10% < 25%
+	if r := Compare(base, cur, CompareOptions{}); r.Failed() {
+		t.Fatalf("noise within threshold failed the gate: %s", r)
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Experiments[0].WallNS = base.Experiments[0].WallNS / 2
+	r := Compare(base, cur, CompareOptions{})
+	if r.Failed() {
+		t.Fatalf("improvement failed the gate: %s", r)
+	}
+	if len(r.Improvements) != 1 {
+		t.Fatalf("improvement not reported: %s", r)
+	}
+}
+
+func TestCompareMetricDrift(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Experiments[0].Metrics[1].Value = 9100 // +1.1% > 0.1% — deterministic drift
+	r := Compare(base, cur, CompareOptions{})
+	if !r.Failed() {
+		t.Fatalf("metric drift not caught: %s", r)
+	}
+	if !strings.Contains(r.Regressions[0], "throughput") {
+		t.Fatalf("wrong metric blamed: %s", r.Regressions[0])
+	}
+}
+
+func TestCompareMissingMetric(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Experiments[0].Metrics = cur.Experiments[0].Metrics[:1] // drop "throughput"
+	r := Compare(base, cur, CompareOptions{})
+	if !r.Failed() || len(r.Missing) != 1 {
+		t.Fatalf("missing metric not caught: %s", r)
+	}
+	if !strings.Contains(r.Missing[0], "throughput") {
+		t.Fatalf("wrong metric reported missing: %s", r.Missing[0])
+	}
+}
+
+func TestCompareMissingExperimentAndNewExperiment(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Experiments = cur.Experiments[:1] // drop fig20
+	cur.Experiments = append(cur.Experiments, Experiment{ID: "fig99", ChecksPass: true})
+	r := Compare(base, cur, CompareOptions{})
+	if !r.Failed() || len(r.Missing) != 1 || !strings.Contains(r.Missing[0], "fig20") {
+		t.Fatalf("missing experiment not caught: %s", r)
+	}
+	if len(r.Warnings) == 0 || !strings.Contains(r.Warnings[0], "fig99") {
+		t.Fatalf("new experiment not warned about: %s", r)
+	}
+}
+
+func TestCompareChecksRegression(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Experiments[1].ChecksPass = false
+	r := Compare(base, cur, CompareOptions{})
+	if !r.Failed() || !strings.Contains(r.Regressions[0], "shape checks") {
+		t.Fatalf("check regression not caught: %s", r)
+	}
+}
+
+func TestCompareGoBench(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.GoBench[0].Metrics["ns/op"] = 2000 // +100%
+	r := Compare(base, cur, CompareOptions{})
+	if !r.Failed() || !strings.Contains(r.Regressions[0], "BenchmarkFig16-8") {
+		t.Fatalf("go-bench regression not caught: %s", r)
+	}
+
+	// A single vanished benchmark (others present) is a hard miss.
+	cur = clone(t, base)
+	cur.GoBench = append(cur.GoBench[:0:0], GoBenchResult{Name: "BenchmarkOther", N: 1, Metrics: map[string]float64{"ns/op": 5}})
+	if r := Compare(base, cur, CompareOptions{}); !r.Failed() || len(r.Missing) != 1 {
+		t.Fatalf("vanished go-bench not caught: %s", r)
+	}
+
+	// A wholly absent section means the benchmarks weren't run — warn only.
+	cur = clone(t, base)
+	cur.GoBench = nil
+	r = Compare(base, cur, CompareOptions{})
+	if r.Failed() {
+		t.Fatalf("absent go-bench section failed the gate: %s", r)
+	}
+	if len(r.Warnings) != 1 || !strings.Contains(r.Warnings[0], "absent") {
+		t.Fatalf("absent go-bench section not warned about: %s", r)
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFig16Scale-8   	      10	 123456789 ns/op	        9414 Mbps	 1024 B/op	      12 allocs/op
+BenchmarkEngineStep     	 2000000	       612 ns/op
+some log line from the simulator
+PASS
+ok  	repro	42.1s
+`
+	got, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(got), got)
+	}
+	b0 := got[0]
+	if b0.Name != "BenchmarkFig16Scale-8" || b0.N != 10 {
+		t.Fatalf("bad first result: %+v", b0)
+	}
+	want := map[string]float64{"ns/op": 123456789, "Mbps": 9414, "B/op": 1024, "allocs/op": 12}
+	for k, v := range want {
+		if b0.Metrics[k] != v {
+			t.Fatalf("metric %s = %v, want %v", k, b0.Metrics[k], v)
+		}
+	}
+	if got[1].Metrics["ns/op"] != 612 {
+		t.Fatalf("bad second result: %+v", got[1])
+	}
+}
+
+func TestWriteReadRoundTripAndSchemaCheck(t *testing.T) {
+	base := baseFile()
+	got := clone(t, base) // Write+Read round trip
+	if got.Experiments[0].ID != "fig08" || got.Totals.SimEvents != base.Totals.SimEvents {
+		t.Fatalf("round trip mangled file: %+v", got)
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	bad := baseFile()
+	bad.Schema = 99
+	if err := Write(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema mismatch not rejected: %v", err)
+	}
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CompareOptions tune the regression gate.
+type CompareOptions struct {
+	// WallThresholdPct is the allowed slowdown of wall-clock figures
+	// (per-experiment wall, total events/sec, go-bench ns/op) before the
+	// comparison fails. Wall clocks are noisy on shared CI runners, so the
+	// default is generous.
+	WallThresholdPct float64
+	// MetricThresholdPct is the allowed drift of deterministic headline
+	// metrics. The simulation is seeded, so any drift means the model's
+	// behavior changed; the default tolerates floating-point-level noise
+	// only.
+	MetricThresholdPct float64
+}
+
+// DefaultCompareOptions: 25% on wall clocks, 0.1% on simulated metrics.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{WallThresholdPct: 25, MetricThresholdPct: 0.1}
+}
+
+// Report is a comparison's outcome. Regressions and Missing fail the gate;
+// Improvements and Warnings are informational.
+type Report struct {
+	Regressions  []string
+	Missing      []string
+	Improvements []string
+	Warnings     []string
+}
+
+// Failed reports whether the gate should fail.
+func (r *Report) Failed() bool { return len(r.Regressions) > 0 || len(r.Missing) > 0 }
+
+// String renders the report for CI logs.
+func (r *Report) String() string {
+	var b strings.Builder
+	section := func(name string, lines []string) {
+		if len(lines) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s (%d):\n", name, len(lines))
+		for _, l := range lines {
+			fmt.Fprintf(&b, "  - %s\n", l)
+		}
+	}
+	section("REGRESSIONS", r.Regressions)
+	section("MISSING", r.Missing)
+	section("IMPROVEMENTS", r.Improvements)
+	section("WARNINGS", r.Warnings)
+	if b.Len() == 0 {
+		return "no changes beyond thresholds\n"
+	}
+	return b.String()
+}
+
+// pctChange reports (cur-base)/base in percent; +Inf when base is zero and
+// cur is not.
+func pctChange(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - base) / base * 100
+}
+
+// Compare diffs cur against base. A regression is: a slower wall clock
+// beyond the wall threshold, a deterministic metric drifting beyond the
+// metric threshold, a shape check newly failing, or an experiment/metric
+// present in base but missing from cur.
+func Compare(base, cur *File, opts CompareOptions) *Report {
+	if opts.WallThresholdPct <= 0 {
+		opts.WallThresholdPct = DefaultCompareOptions().WallThresholdPct
+	}
+	if opts.MetricThresholdPct <= 0 {
+		opts.MetricThresholdPct = DefaultCompareOptions().MetricThresholdPct
+	}
+	r := &Report{}
+
+	for _, be := range base.Experiments {
+		ce, ok := cur.Experiment(be.ID)
+		if !ok {
+			r.Missing = append(r.Missing, fmt.Sprintf("experiment %s disappeared", be.ID))
+			continue
+		}
+		if be.ChecksPass && !ce.ChecksPass {
+			r.Regressions = append(r.Regressions, fmt.Sprintf("%s: shape checks newly failing", be.ID))
+		}
+		if d := pctChange(float64(be.WallNS), float64(ce.WallNS)); d > opts.WallThresholdPct {
+			r.Regressions = append(r.Regressions,
+				fmt.Sprintf("%s: wall %.0fms → %.0fms (+%.0f%% > %.0f%%)",
+					be.ID, float64(be.WallNS)/1e6, float64(ce.WallNS)/1e6, d, opts.WallThresholdPct))
+		} else if d < -opts.WallThresholdPct {
+			r.Improvements = append(r.Improvements,
+				fmt.Sprintf("%s: wall %.0fms → %.0fms (%.0f%%)",
+					be.ID, float64(be.WallNS)/1e6, float64(ce.WallNS)/1e6, d))
+		}
+		for _, bm := range be.Metrics {
+			cm, ok := ce.Metric(bm.Series)
+			if !ok {
+				r.Missing = append(r.Missing, fmt.Sprintf("%s: metric %q disappeared", be.ID, bm.Series))
+				continue
+			}
+			if d := math.Abs(pctChange(bm.Value, cm.Value)); d > opts.MetricThresholdPct {
+				r.Regressions = append(r.Regressions,
+					fmt.Sprintf("%s: %s drifted %.4g → %.4g %s (±%.2f%% > %.2f%%; deterministic metric — behavior changed)",
+						be.ID, bm.Series, bm.Value, cm.Value, cm.Unit, d, opts.MetricThresholdPct))
+			}
+		}
+	}
+	for _, ce := range cur.Experiments {
+		if _, ok := base.Experiment(ce.ID); !ok {
+			r.Warnings = append(r.Warnings, fmt.Sprintf("experiment %s is new (no baseline)", ce.ID))
+		}
+	}
+
+	// Simulator core speed: events/sec is wall-based, so wall threshold.
+	if base.Totals.EventsPerSec > 0 && cur.Totals.EventsPerSec > 0 {
+		if d := pctChange(base.Totals.EventsPerSec, cur.Totals.EventsPerSec); d < -opts.WallThresholdPct {
+			r.Regressions = append(r.Regressions,
+				fmt.Sprintf("totals: events/sec %.2fM → %.2fM (%.0f%% < -%.0f%%)",
+					base.Totals.EventsPerSec/1e6, cur.Totals.EventsPerSec/1e6, d, opts.WallThresholdPct))
+		} else if d > opts.WallThresholdPct {
+			r.Improvements = append(r.Improvements,
+				fmt.Sprintf("totals: events/sec %.2fM → %.2fM (+%.0f%%)",
+					base.Totals.EventsPerSec/1e6, cur.Totals.EventsPerSec/1e6, d))
+		}
+	}
+	// Event count is deterministic at fixed suite content: big drift is
+	// worth flagging but not failing (new experiments legitimately add
+	// events).
+	if base.Totals.SimEvents > 0 && cur.Totals.SimEvents > 0 {
+		if d := pctChange(float64(base.Totals.SimEvents), float64(cur.Totals.SimEvents)); math.Abs(d) > 5 {
+			r.Warnings = append(r.Warnings,
+				fmt.Sprintf("totals: sim events %d → %d (%+.0f%%)", base.Totals.SimEvents, cur.Totals.SimEvents, d))
+		}
+	}
+
+	// Micro-benchmarks, matched by name; ns/op gets the wall threshold. A
+	// wholly absent section means the benchmarks weren't run this time
+	// (suite-only BENCH vs a full baseline) — warn, don't fail; only an
+	// individually vanished benchmark is a regression signal.
+	if len(cur.GoBench) == 0 && len(base.GoBench) > 0 {
+		r.Warnings = append(r.Warnings,
+			fmt.Sprintf("go-bench section absent from new file (%d benchmarks in baseline; not run?)", len(base.GoBench)))
+		return r
+	}
+	curBench := map[string]GoBenchResult{}
+	for _, g := range cur.GoBench {
+		curBench[g.Name] = g
+	}
+	for _, bg := range base.GoBench {
+		cg, ok := curBench[bg.Name]
+		if !ok {
+			r.Missing = append(r.Missing, fmt.Sprintf("go-bench %s disappeared", bg.Name))
+			continue
+		}
+		bNs, bOK := bg.Metrics["ns/op"]
+		cNs, cOK := cg.Metrics["ns/op"]
+		if bOK && cOK {
+			if d := pctChange(bNs, cNs); d > opts.WallThresholdPct {
+				r.Regressions = append(r.Regressions,
+					fmt.Sprintf("go-bench %s: %.0f → %.0f ns/op (+%.0f%% > %.0f%%)",
+						bg.Name, bNs, cNs, d, opts.WallThresholdPct))
+			} else if d < -opts.WallThresholdPct {
+				r.Improvements = append(r.Improvements,
+					fmt.Sprintf("go-bench %s: %.0f → %.0f ns/op (%.0f%%)", bg.Name, bNs, cNs, d))
+			}
+		}
+	}
+	return r
+}

@@ -15,16 +15,22 @@ import (
 
 // This file reproduces the §5.3 interrupt-coalescing studies: Fig. 8
 // (UDP_STREAM), Fig. 9 (TCP_STREAM) and Fig. 10 (inter-VM overflow
-// avoidance).
+// avoidance). Each policy of the sweep is an independent Point so the
+// parallel runner can shard the policy axis.
 
 func init() {
-	register(Spec{ID: "fig08", Title: "Adaptive interrupt coalescing reduces CPU overhead for UDP_STREAM", Run: Fig08})
-	register(Spec{ID: "fig09", Title: "Adaptive interrupt coalescing maintains throughput with minimal CPU for TCP_STREAM", Run: Fig09})
-	register(Spec{ID: "fig10", Title: "Adaptive interrupt coalescing avoids packet loss in inter-VM communication", Run: Fig10})
+	registerPoints("fig08", "Adaptive interrupt coalescing reduces CPU overhead for UDP_STREAM",
+		coalescePointsFor(fig08Point), buildFig08)
+	registerPoints("fig09", "Adaptive interrupt coalescing maintains throughput with minimal CPU for TCP_STREAM",
+		coalescePointsFor(fig09Point), buildFig09)
+	registerPoints("fig10", "Adaptive interrupt coalescing avoids packet loss in inter-VM communication",
+		coalescePointsFor(fig10Point), buildFig10)
 }
 
 // coalescePolicies are the four policies of Figs. 8–10: the low-latency
 // profile, the VF driver default, the paper's AIC, and the too-slow 1 kHz.
+// Policies can be stateful (AIC adapts), so every point run asks for a
+// fresh set and picks its own by index.
 func coalescePolicies() []netstack.ITRPolicy {
 	return []netstack.ITRPolicy{
 		netstack.FixedITR(model.LowLatencyITRHz),
@@ -34,9 +40,43 @@ func coalescePolicies() []netstack.ITRPolicy {
 	}
 }
 
-// Fig08 sweeps the coalescing policy for a single HVM guest receiving
-// UDP_STREAM at 1 GbE line rate.
-func Fig08() *report.Figure {
+// coalescePointsFor builds one Point per coalescing policy, labelled by the
+// policy name, running the given per-policy measurement.
+func coalescePointsFor(run func(policyIdx int, seed uint64) any) []Point {
+	var pts []Point
+	for i, p := range coalescePolicies() {
+		i := i
+		pts = append(pts, Point{Label: p.String(), Run: func(seed uint64) any {
+			return run(i, seed)
+		}})
+	}
+	return pts
+}
+
+// coalesceMeasure is one policy's measurement, shared by the three figures
+// (unused fields stay zero).
+type coalesceMeasure struct {
+	cpu    float64 // guest+xen
+	dom0   float64
+	tput   float64 // Mbps (fig08/09) or RX Gbps (fig10)
+	intrHz float64
+}
+
+func fig08Point(policyIdx int, seed uint64) any {
+	p := coalescePolicies()[policyIdx]
+	r := runSRIOV(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations}, 1, vmm.HVM, vmm.Kernel2628,
+		func() netstack.ITRPolicy { return p }, model.LineRateUDP, aicWarm)
+	m := coalesceMeasure{cpu: r.util.Guests + r.util.Xen, dom0: r.util.Dom0, tput: r.goodput.Mbps()}
+	// Recover the interrupt rate from the guest's receiver.
+	for _, g := range r.bed.Guests() {
+		m.intrHz = float64(g.Recv.Stats.Interrupts) / r.bed.Eng.Now().Seconds()
+	}
+	return m
+}
+
+// buildFig08 assembles the UDP_STREAM policy sweep for a single HVM guest
+// receiving at 1 GbE line rate.
+func buildFig08(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig08",
 		Title: "UDP_STREAM CPU utilization and bandwidth vs interrupt coalescing policy",
@@ -53,18 +93,13 @@ func Fig08() *report.Figure {
 	dom0S := f.AddSeries("dom0", "%")
 	ifS := f.AddSeries("interrupt-rate", "Hz")
 
-	for _, pol := range coalescePolicies() {
-		p := pol
-		r := runSRIOV(core.Config{Ports: 1, Opts: vmm.AllOptimizations}, 1, vmm.HVM, vmm.Kernel2628,
-			func() netstack.ITRPolicy { return p }, model.LineRateUDP, aicWarm)
-		label := p.String()
-		cpuS.Add(label, r.util.Guests+r.util.Xen)
-		tputS.Add(label, r.goodput.Mbps())
-		dom0S.Add(label, r.util.Dom0)
-		// Recover the interrupt rate from the guest's receiver.
-		for _, g := range r.bed.Guests() {
-			ifS.Add(label, float64(g.Recv.Stats.Interrupts)/r.bed.Eng.Now().Seconds())
-		}
+	for i, pol := range coalescePolicies() {
+		m := results[i].(coalesceMeasure)
+		label := pol.String()
+		cpuS.Add(label, m.cpu)
+		tputS.Add(label, m.tput)
+		dom0S.Add(label, m.dom0)
+		ifS.Add(label, m.intrHz)
 	}
 
 	for _, label := range []string{"20kHz", "2kHz", "AIC"} {
@@ -83,8 +118,22 @@ func Fig08() *report.Figure {
 	return f
 }
 
-// Fig09 is the TCP_STREAM counterpart: the 1 kHz policy hurts throughput.
-func Fig09() *report.Figure {
+func fig09Point(policyIdx int, seed uint64) any {
+	p := coalescePolicies()[policyIdx]
+	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations})
+	g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.Kernel2628, 0, 0, p)
+	if err != nil {
+		panic(err)
+	}
+	tb.StartTCP(g, p)
+	u, res := tb.Measure(aicWarm, window)
+	tb.StopAll()
+	return coalesceMeasure{cpu: u.Guests + u.Xen, tput: res[g].Goodput.Mbps()}
+}
+
+// buildFig09 assembles the TCP_STREAM counterpart: the 1 kHz policy hurts
+// throughput.
+func buildFig09(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig09",
 		Title: "TCP_STREAM throughput and CPU vs interrupt coalescing policy",
@@ -100,19 +149,10 @@ func Fig09() *report.Figure {
 	cpuS := f.AddSeries("guest+xen-cpu", "%")
 	tputS := f.AddSeries("throughput", "Mbps")
 
-	for _, pol := range coalescePolicies() {
-		p := pol
-		tb := core.NewTestbed(core.Config{Ports: 1, Opts: vmm.AllOptimizations})
-		g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.Kernel2628, 0, 0, p)
-		if err != nil {
-			panic(err)
-		}
-		tb.StartTCP(g, p)
-		u, res := tb.Measure(aicWarm, window)
-		tb.StopAll()
-		label := p.String()
-		cpuS.Add(label, u.Guests+u.Xen)
-		tputS.Add(label, res[g].Goodput.Mbps())
+	for i, pol := range coalescePolicies() {
+		m := results[i].(coalesceMeasure)
+		cpuS.Add(pol.String(), m.cpu)
+		tputS.Add(pol.String(), m.tput)
 	}
 
 	for _, label := range []string{"20kHz", "2kHz", "AIC"} {
@@ -128,10 +168,32 @@ func Fig09() *report.Figure {
 	return f
 }
 
-// Fig10 reproduces the inter-VM overflow study: dom0 pushes packets to a
-// guest through the NIC's internal switch faster than the line rate; fixed
-// low interrupt rates overflow the receive buffers while AIC adapts.
-func Fig10() *report.Figure {
+// fig10Offered is the inter-VM offered load: dom0 pushes through the NIC's
+// internal switch faster than the wire rate (§6.3).
+const fig10Offered = 2750 * units.Mbps
+
+func fig10Point(policyIdx int, seed uint64) any {
+	p := coalescePolicies()[policyIdx]
+	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations})
+	g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.Kernel2628, 0, 0, p)
+	if err != nil {
+		panic(err)
+	}
+	// dom0's sender: periodic batches through the internal switch.
+	pfq := tb.Ports[0].PFQueue()
+	src := workload.NewSource(tb.Eng, fig10Offered, model.FrameSize, func(n int, b units.Size) {
+		tb.HV.ChargeDom0("send", units.Cycles(n)*2500)
+		tb.Ports[0].SendInternal(pfq, nic.Batch{Dst: g.MAC, Count: n, Bytes: b})
+	})
+	src.Start()
+	u, res := tb.Measure(aicWarm, window)
+	src.Stop()
+	return coalesceMeasure{cpu: u.Guests + u.Xen, tput: res[g].Goodput.Gbps()}
+}
+
+// buildFig10 assembles the inter-VM overflow study: fixed low interrupt
+// rates overflow the receive buffers while AIC adapts.
+func buildFig10(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig10",
 		Title: "Inter-VM communication: TX vs RX bandwidth per coalescing policy",
@@ -148,27 +210,12 @@ func Fig10() *report.Figure {
 	rxS := f.AddSeries("rx-bw", "Gbps")
 	cpuS := f.AddSeries("guest+xen-cpu", "%")
 
-	const offered = 2750 * units.Mbps
-	for _, pol := range coalescePolicies() {
-		p := pol
-		tb := core.NewTestbed(core.Config{Ports: 1, Opts: vmm.AllOptimizations})
-		g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.Kernel2628, 0, 0, p)
-		if err != nil {
-			panic(err)
-		}
-		// dom0's sender: periodic batches through the internal switch.
-		pfq := tb.Ports[0].PFQueue()
-		src := workload.NewSource(tb.Eng, offered, model.FrameSize, func(n int, b units.Size) {
-			tb.HV.ChargeDom0("send", units.Cycles(n)*2500)
-			tb.Ports[0].SendInternal(pfq, nic.Batch{Dst: g.MAC, Count: n, Bytes: b})
-		})
-		src.Start()
-		u, res := tb.Measure(aicWarm, window)
-		src.Stop()
-		label := p.String()
-		txS.Add(label, offered.Gbps())
-		rxS.Add(label, res[g].Goodput.Gbps())
-		cpuS.Add(label, u.Guests+u.Xen)
+	for i, pol := range coalescePolicies() {
+		m := results[i].(coalesceMeasure)
+		label := pol.String()
+		txS.Add(label, fig10Offered.Gbps())
+		rxS.Add(label, m.tput)
+		cpuS.Add(label, m.cpu)
 	}
 
 	rxAIC, _ := rxS.Y("AIC")
@@ -177,7 +224,7 @@ func Fig10() *report.Figure {
 	rx1, _ := rxS.Y("1kHz")
 	f.CheckRange("AIC avoids loss (RX≈TX)", rxAIC, 2.6, 2.8)
 	f.CheckRange("20 kHz avoids loss (RX≈TX)", rx20, 2.6, 2.8)
-	f.CheckTrue("2 kHz loses packets (RX<TX)", rx2 < 0.9*offered.Gbps(), fmt.Sprintf("rx=%.2f", rx2))
+	f.CheckTrue("2 kHz loses packets (RX<TX)", rx2 < 0.9*fig10Offered.Gbps(), fmt.Sprintf("rx=%.2f", rx2))
 	f.CheckTrue("1 kHz loses more", rx1 < rx2, fmt.Sprintf("1k=%.2f 2k=%.2f", rx1, rx2))
 	c20, _ := cpuS.Y("20kHz")
 	cAIC, _ := cpuS.Y("AIC")

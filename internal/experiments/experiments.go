@@ -14,21 +14,67 @@ import (
 	"repro/internal/model"
 	"repro/internal/netstack"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/vmm"
 )
 
+// Point is one independently runnable unit of a decomposed experiment — a
+// single series point such as one VM count or one coalescing policy. A
+// point builds its own testbeds (so its own engines) and shares no mutable
+// state with other points; a parallel runner may execute points of one
+// experiment on different goroutines in any order. seed is the stable
+// per-point seed (PointSeed) to use for every engine the point creates.
+type Point struct {
+	Label string
+	Run   func(seed uint64) any
+}
+
 // Spec describes one reproducible experiment.
+//
+// Every spec has a serial Run. Specs whose series points are independent
+// additionally carry Points and Build: Run is then derived — it executes
+// the points in order and assembles — so the serial path and a parallel
+// runner produce identical figures by construction.
 type Spec struct {
 	ID    string
 	Title string
 	Run   func() *report.Figure
+
+	// Points decomposes the experiment; nil means it only runs whole.
+	Points []Point
+	// Build assembles the figure from the point results, in Points order.
+	Build func(results []any) *report.Figure
 }
+
+// Parallelizable reports whether the experiment decomposes into points.
+func (s Spec) Parallelizable() bool { return len(s.Points) > 0 && s.Build != nil }
+
+// PointSeed derives the stable engine seed for one point of an experiment.
+// It depends only on the experiment id and point label, never on worker
+// assignment or execution order, so results are bit-identical at any
+// parallelism.
+func PointSeed(id, label string) uint64 { return sim.StableSeed(id, label) }
 
 // registry holds all experiments keyed by id.
 var registry = map[string]Spec{}
 
 func register(s Spec) { registry[s.ID] = s }
+
+// registerPoints registers a decomposed experiment, deriving the serial Run
+// from the points so there is exactly one code path producing figures.
+func registerPoints(id, title string, points []Point, build func([]any) *report.Figure) {
+	register(Spec{
+		ID: id, Title: title, Points: points, Build: build,
+		Run: func() *report.Figure {
+			results := make([]any, len(points))
+			for i, p := range points {
+				results[i] = p.Run(PointSeed(id, p.Label))
+			}
+			return build(results)
+		},
+	})
+}
 
 // ByID looks an experiment up ("fig06" ... "fig21").
 func ByID(id string) (Spec, bool) {

@@ -14,18 +14,56 @@ import (
 
 // This file reproduces the §6.3 inter-VM message-size sweeps: Fig. 13
 // (SR-IOV through the NIC's internal switch) and Fig. 14 (PV through a CPU
-// copy in dom0).
+// copy in dom0). Each message size is an independent Point.
 
 func init() {
-	register(Spec{ID: "fig13", Title: "SR-IOV inter-VM communication", Run: Fig13})
-	register(Spec{ID: "fig14", Title: "PV NIC inter-VM communication", Run: Fig14})
+	registerPoints("fig13", "SR-IOV inter-VM communication", fig13Points(), buildFig13)
+	registerPoints("fig14", "PV NIC inter-VM communication", fig14Points(), buildFig14)
 }
 
 // messageSizes is the sweep of both figures.
 var messageSizes = []units.Size{1500, 2000, 2500, 3000, 3500, 4000}
 
-// Fig13: guest→guest on the same port via the internal DMA switch.
-func Fig13() *report.Figure {
+// intervmMeasure is one message size's measurement.
+type intervmMeasure struct {
+	tput float64 // Gbps
+	cpu  float64 // total %
+	dom0 float64
+}
+
+func msgLabel(msg units.Size) string { return fmt.Sprintf("%dB", int64(msg)) }
+
+// fig13Points: guest→guest on the same port via the internal DMA switch.
+func fig13Points() []Point {
+	pts := make([]Point, 0, len(messageSizes))
+	for _, msg := range messageSizes {
+		msg := msg
+		pts = append(pts, Point{Label: msgLabel(msg), Run: func(seed uint64) any {
+			tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations})
+			sender, err := tb.AddSRIOVGuest("sender", vmm.HVM, vmm.Kernel2628, 0, 0, netstack.FixedITR(8000))
+			if err != nil {
+				panic(err)
+			}
+			recvG, err := tb.AddSRIOVGuest("receiver", vmm.HVM, vmm.Kernel2628, 0, 1, netstack.DefaultAIC())
+			if err != nil {
+				panic(err)
+			}
+			tx := guest.NewNetSender(tb.HV, sender.Dom)
+			src := workload.NewMessageSource(tb.Eng, msg, func(sz units.Size) units.Duration {
+				sender.VF.Transmit(tx, recvG.MAC, sz, 1500)
+				return sender.Port.InternalBacklog()
+			})
+			src.Start()
+			u, res := tb.Measure(aicWarm, window)
+			src.Stop()
+			return intervmMeasure{tput: res[recvG].Goodput.Gbps(), cpu: u.Total}
+		}})
+	}
+	return pts
+}
+
+// buildFig13 assembles the SR-IOV inter-VM sweep.
+func buildFig13(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig13",
 		Title: "SR-IOV inter-VM throughput and CPU vs message size (single port)",
@@ -41,29 +79,13 @@ func Fig13() *report.Figure {
 	cpuS := f.AddSeries("total-cpu", "%")
 	perCPU := f.AddSeries("Mbps-per-cpu%", "Mbps/%")
 
-	for _, msg := range messageSizes {
-		tb := core.NewTestbed(core.Config{Ports: 1, Opts: vmm.AllOptimizations})
-		sender, err := tb.AddSRIOVGuest("sender", vmm.HVM, vmm.Kernel2628, 0, 0, netstack.FixedITR(8000))
-		if err != nil {
-			panic(err)
-		}
-		recvG, err := tb.AddSRIOVGuest("receiver", vmm.HVM, vmm.Kernel2628, 0, 1, netstack.DefaultAIC())
-		if err != nil {
-			panic(err)
-		}
-		tx := guest.NewNetSender(tb.HV, sender.Dom)
-		src := workload.NewMessageSource(tb.Eng, msg, func(sz units.Size) units.Duration {
-			sender.VF.Transmit(tx, recvG.MAC, sz, 1500)
-			return sender.Port.InternalBacklog()
-		})
-		src.Start()
-		u, res := tb.Measure(aicWarm, window)
-		src.Stop()
-		label := fmt.Sprintf("%dB", int64(msg))
-		tputS.Add(label, res[recvG].Goodput.Gbps())
-		cpuS.Add(label, u.Total)
-		if u.Total > 0 {
-			perCPU.Add(label, res[recvG].Goodput.Mbps()/u.Total)
+	for i, msg := range messageSizes {
+		m := results[i].(intervmMeasure)
+		label := msgLabel(msg)
+		tputS.Add(label, m.tput)
+		cpuS.Add(label, m.cpu)
+		if m.cpu > 0 {
+			perCPU.Add(label, m.tput*1000/m.cpu)
 		}
 	}
 
@@ -76,8 +98,41 @@ func Fig13() *report.Figure {
 	return f
 }
 
-// Fig14: the same sweep through the PV split driver's memory-to-memory copy.
-func Fig14() *report.Figure {
+// fig14Points: the same sweep through the PV split driver's
+// memory-to-memory copy.
+func fig14Points() []Point {
+	pts := make([]Point, 0, len(messageSizes))
+	for _, msg := range messageSizes {
+		msg := msg
+		pts = append(pts, Point{Label: msgLabel(msg), Run: func(seed uint64) any {
+			// One backend thread serves the single stream, as in the paper's
+			// unidirectional test.
+			tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, NetbackThreads: 1})
+			senderG, err := tb.AddPVGuest("sender", vmm.PVM, vmm.Kernel2628, 0)
+			if err != nil {
+				panic(err)
+			}
+			recvG, err := tb.AddPVGuest("receiver", vmm.PVM, vmm.Kernel2628, 0)
+			if err != nil {
+				panic(err)
+			}
+			tx := guest.NewNetSender(tb.HV, senderG.Dom)
+			src := workload.NewMessageSource(tb.Eng, msg, func(sz units.Size) units.Duration {
+				senderG.PV.GuestTransmit(tx, recvG.MAC, sz, 1500)
+				// Backpressure: batches queued in the backend.
+				return units.Duration(tb.Netback.Backlog()) * 50 * units.Microsecond
+			})
+			src.Start()
+			u, res := tb.Measure(warmup, window)
+			src.Stop()
+			return intervmMeasure{tput: res[recvG].Goodput.Gbps(), cpu: u.Total, dom0: u.Dom0}
+		}})
+	}
+	return pts
+}
+
+// buildFig14 assembles the PV inter-VM sweep.
+func buildFig14(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig14",
 		Title: "PV NIC inter-VM throughput and CPU vs message size",
@@ -93,33 +148,14 @@ func Fig14() *report.Figure {
 	dom0S := f.AddSeries("dom0", "%")
 	perCPU := f.AddSeries("Mbps-per-cpu%", "Mbps/%")
 
-	for _, msg := range messageSizes {
-		// One backend thread serves the single stream, as in the paper's
-		// unidirectional test.
-		tb := core.NewTestbed(core.Config{Ports: 1, Opts: vmm.AllOptimizations, NetbackThreads: 1})
-		senderG, err := tb.AddPVGuest("sender", vmm.PVM, vmm.Kernel2628, 0)
-		if err != nil {
-			panic(err)
-		}
-		recvG, err := tb.AddPVGuest("receiver", vmm.PVM, vmm.Kernel2628, 0)
-		if err != nil {
-			panic(err)
-		}
-		tx := guest.NewNetSender(tb.HV, senderG.Dom)
-		src := workload.NewMessageSource(tb.Eng, msg, func(sz units.Size) units.Duration {
-			senderG.PV.GuestTransmit(tx, recvG.MAC, sz, 1500)
-			// Backpressure: batches queued in the backend.
-			return units.Duration(tb.Netback.Backlog()) * 50 * units.Microsecond
-		})
-		src.Start()
-		u, res := tb.Measure(warmup, window)
-		src.Stop()
-		label := fmt.Sprintf("%dB", int64(msg))
-		tputS.Add(label, res[recvG].Goodput.Gbps())
-		cpuS.Add(label, u.Total)
-		dom0S.Add(label, u.Dom0)
-		if u.Total > 0 {
-			perCPU.Add(label, res[recvG].Goodput.Mbps()/u.Total)
+	for i, msg := range messageSizes {
+		m := results[i].(intervmMeasure)
+		label := msgLabel(msg)
+		tputS.Add(label, m.tput)
+		cpuS.Add(label, m.cpu)
+		dom0S.Add(label, m.dom0)
+		if m.cpu > 0 {
+			perCPU.Add(label, m.tput*1000/m.cpu)
 		}
 	}
 

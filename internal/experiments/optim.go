@@ -13,18 +13,53 @@ import (
 
 // This file reproduces the optimization studies: Fig. 6 (mask/unmask
 // acceleration), Fig. 7 (VM-exit breakdown and EOI acceleration) and
-// Fig. 12 (all optimizations at aggregate 10 GbE).
+// Fig. 12 (all optimizations at aggregate 10 GbE). Fig. 6 shards its
+// VM-count axis, Fig. 7 its two tracing runs, Fig. 12 its optimization
+// ladder.
 
 func init() {
-	register(Spec{ID: "fig06", Title: "CPU utilization and throughput in SR-IOV with a 64-bit RHEL5U1 HVM guest", Run: Fig06})
-	register(Spec{ID: "fig07", Title: "Virtualization overhead per second, based on VM-exit events", Run: Fig07})
-	register(Spec{ID: "fig12", Title: "Impact of the optimizations for SR-IOV with aggregate 10 Gbps Ethernet", Run: Fig12})
+	registerPoints("fig06", "CPU utilization and throughput in SR-IOV with a 64-bit RHEL5U1 HVM guest",
+		fig06Points(), buildFig06)
+	registerPoints("fig07", "Virtualization overhead per second, based on VM-exit events",
+		fig07Points(), buildFig07)
+	registerPoints("fig12", "Impact of the optimizations for SR-IOV with aggregate 10 Gbps Ethernet",
+		fig12Points(), buildFig12)
 }
 
-// Fig06 reproduces §5.1: 1–7 HVM guests (RHEL5U1, which masks/unmasks MSI
-// around every interrupt) sharing one 1 GbE port; dom0 CPU with mask
+// fig06VMCounts is Fig. 6's x-axis: guests sharing one 1 GbE port.
+var fig06VMCounts = []int{1, 2, 3, 4, 5, 6, 7}
+
+// fig06Measure is one VM count's pair of runs.
+type fig06Measure struct {
+	dom0Unopt, dom0Opt float64
+	tputUnopt, tputOpt float64 // Mbps
+}
+
+func fig06Points() []Point {
+	pts := make([]Point, 0, len(fig06VMCounts))
+	for _, n := range fig06VMCounts {
+		n := n
+		pts = append(pts, Point{Label: fmt.Sprintf("%d-VM", n), Run: func(seed uint64) any {
+			rate := perPortRate(n, 1)
+			// Warm past the dynamic moderation's first pps sample so shared
+			// ports measure at the settled interrupt rate.
+			unopt := runSRIOV(core.Config{Seed: seed, Ports: 1}, n,
+				vmm.HVM, vmm.KernelRHEL5, dynamicPolicy, rate, aicWarm)
+			opt := runSRIOV(core.Config{Seed: seed, Ports: 1, Opts: vmm.Optimizations{MaskAccel: true}}, n,
+				vmm.HVM, vmm.KernelRHEL5, dynamicPolicy, rate, aicWarm)
+			return fig06Measure{
+				dom0Unopt: unopt.util.Dom0, dom0Opt: opt.util.Dom0,
+				tputUnopt: unopt.goodput.Mbps(), tputOpt: opt.goodput.Mbps(),
+			}
+		}})
+	}
+	return pts
+}
+
+// buildFig06 assembles §5.1: 1–7 HVM guests (RHEL5U1, which masks/unmasks
+// MSI around every interrupt) sharing one 1 GbE port; dom0 CPU with mask
 // emulation in the device model vs in the hypervisor.
-func Fig06() *report.Figure {
+func buildFig06(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig06",
 		Title: "CPU utilization and throughput, SR-IOV, RHEL5U1 HVM, one 1 GbE port",
@@ -42,22 +77,13 @@ func Fig06() *report.Figure {
 	tputUnopt := f.AddSeries("throughput-unopt", "Mbps")
 	tputOpt := f.AddSeries("throughput-opt", "Mbps")
 
-	cfg := core.Config{Ports: 1}
-	for _, n := range []int{1, 2, 3, 4, 5, 6, 7} {
-		rate := perPortRate(n, 1)
+	for i, n := range fig06VMCounts {
+		m := results[i].(fig06Measure)
 		label := fmt.Sprintf("%d-VM", n)
-
-		// Warm past the dynamic moderation's first pps sample so shared
-		// ports measure at the settled interrupt rate.
-		cfg.Opts = vmm.Optimizations{} // no acceleration
-		r := runSRIOV(cfg, n, vmm.HVM, vmm.KernelRHEL5, dynamicPolicy, rate, aicWarm)
-		dom0Unopt.Add(label, r.util.Dom0)
-		tputUnopt.Add(label, r.goodput.Mbps())
-
-		cfg.Opts = vmm.Optimizations{MaskAccel: true}
-		r = runSRIOV(cfg, n, vmm.HVM, vmm.KernelRHEL5, dynamicPolicy, rate, aicWarm)
-		dom0Opt.Add(label, r.util.Dom0)
-		tputOpt.Add(label, r.goodput.Mbps())
+		dom0Unopt.Add(label, m.dom0Unopt)
+		tputUnopt.Add(label, m.tputUnopt)
+		dom0Opt.Add(label, m.dom0Opt)
+		tputOpt.Add(label, m.tputOpt)
 	}
 
 	one, _ := dom0Unopt.Y("1-VM")
@@ -76,9 +102,53 @@ func Fig06() *report.Figure {
 	return f
 }
 
-// Fig07 reproduces §5.2: tracing all VM-exits of a single HVM guest at
-// 1 GbE line rate, before and after virtual-EOI acceleration.
-func Fig07() *report.Figure {
+// fig07Measure is one tracing run: the per-exit-reason breakdown and total
+// cycles/second.
+type fig07Measure struct {
+	perReason map[vmm.ExitReason]vmm.ExitRecord
+	total     float64
+}
+
+// fig07Run traces all VM-exits of a single HVM guest at 1 GbE line rate.
+func fig07Run(seed uint64, opts vmm.Optimizations) fig07Measure {
+	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: opts})
+	g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.KernelRHEL5, 0, 0, dynamicPolicy())
+	if err != nil {
+		panic(err)
+	}
+	tb.StartUDP(g, model.LineRateUDP)
+	tb.Eng.RunUntil(tb.Eng.Now().Add(warmup))
+	tb.HV.ResetExitTrace()
+	start := tb.Eng.Now()
+	end := tb.Eng.RunUntil(start.Add(window))
+	tb.StopAll()
+	// Add the timer tick's APIC traffic for the window (charged
+	// analytically elsewhere; reflect it in the trace for parity).
+	tb.HV.ChargeTimerBaseline(g.Dom, window)
+	secs := end.Sub(start).Seconds()
+	out := make(map[vmm.ExitReason]vmm.ExitRecord)
+	var tot float64
+	for r, rec := range tb.HV.Exits {
+		out[r] = *rec
+		tot += float64(rec.Cycles)
+	}
+	return fig07Measure{perReason: out, total: tot / secs}
+}
+
+func fig07Points() []Point {
+	return []Point{
+		{Label: "unopt", Run: func(seed uint64) any {
+			return fig07Run(seed, vmm.Optimizations{MaskAccel: true})
+		}},
+		{Label: "eoi-accel", Run: func(seed uint64) any {
+			return fig07Run(seed, vmm.Optimizations{MaskAccel: true, EOIAccel: true})
+		}},
+	}
+}
+
+// buildFig07 assembles §5.2: the VM-exit breakdown before and after
+// virtual-EOI acceleration.
+func buildFig07(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig07",
 		Title: "Virtualization overhead per second by VM-exit type",
@@ -92,33 +162,10 @@ func Fig07() *report.Figure {
 			"per-exit EOI emulation cost drops from 8.4K to 2.5K cycles",
 		},
 	}
-	run := func(opts vmm.Optimizations) (perReason map[vmm.ExitReason]vmm.ExitRecord, total float64) {
-		tb := core.NewTestbed(core.Config{Ports: 1, Opts: opts})
-		g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.KernelRHEL5, 0, 0, dynamicPolicy())
-		if err != nil {
-			panic(err)
-		}
-		tb.StartUDP(g, model.LineRateUDP)
-		tb.Eng.RunUntil(tb.Eng.Now().Add(warmup))
-		tb.HV.ResetExitTrace()
-		start := tb.Eng.Now()
-		end := tb.Eng.RunUntil(start.Add(window))
-		tb.StopAll()
-		// Add the timer tick's APIC traffic for the window (charged
-		// analytically elsewhere; reflect it in the trace for parity).
-		tb.HV.ChargeTimerBaseline(g.Dom, window)
-		secs := end.Sub(start).Seconds()
-		out := make(map[vmm.ExitReason]vmm.ExitRecord)
-		var tot float64
-		for r, rec := range tb.HV.Exits {
-			out[r] = *rec
-			tot += float64(rec.Cycles)
-		}
-		return out, tot / secs
-	}
-
-	unopt, totalUnopt := run(vmm.Optimizations{MaskAccel: true})
-	opt, totalOpt := run(vmm.Optimizations{MaskAccel: true, EOIAccel: true})
+	unoptM := results[0].(fig07Measure)
+	optM := results[1].(fig07Measure)
+	unopt, totalUnopt := unoptM.perReason, unoptM.total
+	opt, totalOpt := optM.perReason, optM.total
 
 	sBefore := f.AddSeries("cycles/s-unopt", "Mcycles")
 	sAfter := f.AddSeries("cycles/s-eoi-accel", "Mcycles")
@@ -149,10 +196,53 @@ func Fig07() *report.Figure {
 	return f
 }
 
-// Fig12 reproduces §6.2: aggregate 10 GbE (10 VMs on 10 ports), CPU
+// fig12Rows is the optimization ladder of §6.2, plus the native baseline.
+type fig12Row struct {
+	label  string
+	kernel vmm.KernelConfig
+	typ    vmm.DomainType
+	opts   vmm.Optimizations
+	policy func() netstack.ITRPolicy
+	warm   units.Duration
+}
+
+func fig12Rows() []fig12Row {
+	return []fig12Row{
+		{"2.6.18-unopt", vmm.KernelRHEL5, vmm.HVM, vmm.Optimizations{}, dynamicPolicy, warmup},
+		{"2.6.18-msi", vmm.KernelRHEL5, vmm.HVM, vmm.Optimizations{MaskAccel: true}, dynamicPolicy, warmup},
+		{"2.6.28-base", vmm.Kernel2628, vmm.HVM, vmm.Optimizations{MaskAccel: true}, dynamicPolicy, warmup},
+		{"2.6.28-eoi", vmm.Kernel2628, vmm.HVM, vmm.Optimizations{MaskAccel: true, EOIAccel: true}, dynamicPolicy, warmup},
+		{"2.6.28-eoi-aic", vmm.Kernel2628, vmm.HVM, vmm.Optimizations{MaskAccel: true, EOIAccel: true}, aicPolicy, aicWarm},
+		{"native", vmm.Kernel2628, vmm.Native, vmm.Optimizations{}, dynamicPolicy, warmup},
+	}
+}
+
+// fig12Measure is one ladder row's measurement.
+type fig12Measure struct {
+	total, dom0, xen, guests float64
+	tput                     float64 // Gbps
+}
+
+func fig12Points() []Point {
+	rows := fig12Rows()
+	pts := make([]Point, 0, len(rows))
+	for i, row := range rows {
+		i, label := i, row.label
+		pts = append(pts, Point{Label: label, Run: func(seed uint64) any {
+			row := fig12Rows()[i]
+			r := runSRIOV(core.Config{Seed: seed, Ports: 10, Opts: row.opts}, 10,
+				row.typ, row.kernel, row.policy, model.LineRateUDP, row.warm)
+			return fig12Measure{total: r.util.Total, dom0: r.util.Dom0, xen: r.util.Xen,
+				guests: r.util.Guests, tput: r.goodput.Gbps()}
+		}})
+	}
+	return pts
+}
+
+// buildFig12 assembles §6.2: aggregate 10 GbE (10 VMs on 10 ports), CPU
 // utilization under the optimization ladder for both kernels, plus the
 // native baseline.
-func Fig12() *report.Figure {
+func buildFig12(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig12",
 		Title: "Impact of the optimizations, aggregate 10 Gbps Ethernet (10 VMs)",
@@ -171,51 +261,38 @@ func Fig12() *report.Figure {
 	guests := f.AddSeries("guests", "%")
 	tput := f.AddSeries("throughput", "Gbps")
 
-	type cfgRow struct {
-		label  string
-		kernel vmm.KernelConfig
-		typ    vmm.DomainType
-		opts   vmm.Optimizations
-		policy func() netstack.ITRPolicy
-		warm   units.Duration
-	}
-	rows := []cfgRow{
-		{"2.6.18-unopt", vmm.KernelRHEL5, vmm.HVM, vmm.Optimizations{}, dynamicPolicy, warmup},
-		{"2.6.18-msi", vmm.KernelRHEL5, vmm.HVM, vmm.Optimizations{MaskAccel: true}, dynamicPolicy, warmup},
-		{"2.6.28-base", vmm.Kernel2628, vmm.HVM, vmm.Optimizations{MaskAccel: true}, dynamicPolicy, warmup},
-		{"2.6.28-eoi", vmm.Kernel2628, vmm.HVM, vmm.Optimizations{MaskAccel: true, EOIAccel: true}, dynamicPolicy, warmup},
-		{"2.6.28-eoi-aic", vmm.Kernel2628, vmm.HVM, vmm.Optimizations{MaskAccel: true, EOIAccel: true}, aicPolicy, aicWarm},
-		{"native", vmm.Kernel2628, vmm.Native, vmm.Optimizations{}, dynamicPolicy, warmup},
-	}
-	vals := map[string]bedResult{}
-	for _, row := range rows {
-		r := runSRIOV(core.Config{Ports: 10, Opts: row.opts}, 10, row.typ, row.kernel, row.policy, model.LineRateUDP, row.warm)
-		vals[row.label] = r
-		total.Add(row.label, r.util.Total)
-		dom0.Add(row.label, r.util.Dom0)
-		xen.Add(row.label, r.util.Xen)
-		guests.Add(row.label, r.util.Guests)
-		tput.Add(row.label, r.goodput.Gbps())
+	rows := fig12Rows()
+	vals := map[string]fig12Measure{}
+	for i, row := range rows {
+		m := results[i].(fig12Measure)
+		vals[row.label] = m
+		total.Add(row.label, m.total)
+		dom0.Add(row.label, m.dom0)
+		xen.Add(row.label, m.xen)
+		guests.Add(row.label, m.guests)
+		tput.Add(row.label, m.tput)
 	}
 
 	// Shape checks.
-	f.CheckRange("2.6.18 unoptimized total ≈499%", vals["2.6.18-unopt"].util.Total, 380, 620)
-	f.CheckRange("2.6.18 + MSI accel ≈227%", vals["2.6.18-msi"].util.Total, 160, 300)
-	msiSave := vals["2.6.18-unopt"].util.Total - vals["2.6.18-msi"].util.Total
-	dom0Save := vals["2.6.18-unopt"].util.Dom0 - vals["2.6.18-msi"].util.Dom0
+	f.CheckRange("2.6.18 unoptimized total ≈499%", vals["2.6.18-unopt"].total, 380, 620)
+	f.CheckRange("2.6.18 + MSI accel ≈227%", vals["2.6.18-msi"].total, 160, 300)
+	msiSave := vals["2.6.18-unopt"].total - vals["2.6.18-msi"].total
+	dom0Save := vals["2.6.18-unopt"].dom0 - vals["2.6.18-msi"].dom0
 	f.CheckTrue("most MSI savings are dom0", dom0Save > 0.6*msiSave,
 		fmt.Sprintf("dom0 −%.0f of −%.0f", dom0Save, msiSave))
-	eoiSave := vals["2.6.28-base"].util.Total - vals["2.6.28-eoi"].util.Total
-	aicSave := vals["2.6.28-eoi"].util.Total - vals["2.6.28-eoi-aic"].util.Total
+	eoiSave := vals["2.6.28-base"].total - vals["2.6.28-eoi"].total
+	aicSave := vals["2.6.28-eoi"].total - vals["2.6.28-eoi-aic"].total
 	f.CheckRange("EOI acceleration saves ≈23 points", eoiSave, 8, 80)
 	f.CheckRange("AIC saves ≈24 more points", aicSave, 8, 80)
-	f.CheckRange("all-optimized total ≈193%", vals["2.6.28-eoi-aic"].util.Total, 140, 240)
-	native := vals["native"].util.Total
+	f.CheckRange("all-optimized total ≈193%", vals["2.6.28-eoi-aic"].total, 140, 240)
+	native := vals["native"].total
 	f.CheckTrue("all-opt within ~1.6× of native",
-		vals["2.6.28-eoi-aic"].util.Total < native*1.9,
-		fmt.Sprintf("opt=%.0f native=%.0f", vals["2.6.28-eoi-aic"].util.Total, native))
-	for label, r := range vals {
-		f.CheckRange("line-rate throughput ("+label+")", r.goodput.Gbps(), 9.3, 9.7)
+		vals["2.6.28-eoi-aic"].total < native*1.9,
+		fmt.Sprintf("opt=%.0f native=%.0f", vals["2.6.28-eoi-aic"].total, native))
+	// Iterate rows, not the map: check order must be deterministic so the
+	// rendered report is byte-identical run to run.
+	for _, row := range rows {
+		f.CheckRange("line-rate throughput ("+row.label+")", vals[row.label].tput, 9.3, 9.7)
 	}
 	return f
 }

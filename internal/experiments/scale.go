@@ -2,43 +2,130 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/vmm"
 )
 
 // This file reproduces the §6.4–§6.6 scalability studies: Fig. 15/16
 // (SR-IOV, HVM and PVM), Fig. 17/18 (PV NIC, HVM and PVM) and Fig. 19
-// (VMDq).
+// (VMDq). Every (path, domain type, VM count) cell of the sweeps is an
+// independent Point, so the parallel runner shards the VM-count axis.
 
 func init() {
-	register(Spec{ID: "fig15", Title: "SR-IOV scalability in HVM", Run: Fig15})
-	register(Spec{ID: "fig16", Title: "SR-IOV scalability in PVM", Run: Fig16})
-	register(Spec{ID: "fig17", Title: "PV NIC scalability in HVM", Run: Fig17})
-	register(Spec{ID: "fig18", Title: "PV NIC scalability in PVM", Run: Fig18})
-	register(Spec{ID: "fig19", Title: "VMDq scalability in PVM", Run: Fig19})
+	registerPoints("fig15", "SR-IOV scalability in HVM",
+		sweepPoints(false, vmm.HVM, ""), buildFig15)
+	// Fig. 16 compares PVM against HVM, so its point list carries both
+	// sweeps; the HVM half is shared with Fig. 15 through the sweep memo.
+	registerPoints("fig16", "SR-IOV scalability in PVM",
+		append(sweepPoints(false, vmm.PVM, ""), sweepPoints(false, vmm.HVM, "hvm-")...), buildFig16)
+	registerPoints("fig17", "PV NIC scalability in HVM",
+		sweepPoints(true, vmm.HVM, ""), buildFig17)
+	registerPoints("fig18", "PV NIC scalability in PVM",
+		append(sweepPoints(true, vmm.PVM, ""), sweepPoints(true, vmm.HVM, "hvm-")...), buildFig18)
+	registerPoints("fig19", "VMDq scalability in PVM", fig19Points(), buildFig19)
 }
 
 // vmCounts is the x-axis of all scalability figures.
 var vmCounts = []int{10, 20, 30, 40, 50, 60}
 
-// scaleResult collects one sweep.
-type scaleResult struct {
-	total, dom0, xen, guests map[int]float64
-	tput                     map[int]float64
+// scaleMeasure is one sweep cell: utilization split and goodput at one VM
+// count.
+type scaleMeasure struct {
+	total, dom0, xen, guests float64
+	tput                     float64 // Gbps
 }
 
-func newScaleResult() scaleResult {
-	return scaleResult{
-		total: map[int]float64{}, dom0: map[int]float64{}, xen: map[int]float64{},
-		guests: map[int]float64{}, tput: map[int]float64{},
+// sweepKey identifies one memoized sweep cell.
+type sweepKey struct {
+	pv  bool // PV split driver path (vs SR-IOV VFs)
+	typ vmm.DomainType
+	n   int
+}
+
+// sweepMemo deduplicates sweep cells across figures (Fig. 15/16 and 17/18
+// cross-reference each other's sweeps) and across concurrent workers: the
+// first claimant computes under the cell's once, everyone else waits and
+// reads the same value. Results are independent of who computes first
+// because every cell seeds its engines from sweepSeed, not from the caller.
+var (
+	sweepMu   sync.Mutex
+	sweepMemo = map[sweepKey]*sweepCell{}
+)
+
+type sweepCell struct {
+	once sync.Once
+	m    scaleMeasure
+}
+
+// sweepSeed is the stable engine seed of one sweep cell. It deliberately
+// ignores the per-point seed of whichever figure triggered the computation:
+// a memoized cell must not measure differently depending on whether Fig. 15
+// or Fig. 16 got to it first.
+func (k sweepKey) seed() uint64 {
+	path := "sriov"
+	if k.pv {
+		path = "pv"
 	}
+	return sim.StableSeed("scale", path, k.typ.String(), fmt.Sprintf("%d", k.n))
 }
 
-func (sr scaleResult) fill(f *report.Figure) {
+// sweepPoint computes (or returns the memoized) sweep cell.
+func sweepPoint(k sweepKey) scaleMeasure {
+	sweepMu.Lock()
+	c, ok := sweepMemo[k]
+	if !ok {
+		c = &sweepCell{}
+		sweepMemo[k] = c
+	}
+	sweepMu.Unlock()
+	c.once.Do(func() {
+		var r bedResult
+		if k.pv {
+			r = runPV(core.Config{Seed: k.seed(), Ports: 10, Opts: vmm.AllOptimizations,
+				NetbackThreads: model.NetbackThreadsEnhanced},
+				k.n, k.typ, vmm.Kernel2628, perPortRate(k.n, 10))
+		} else {
+			r = runSRIOV(core.Config{Seed: k.seed(), Ports: 10, Opts: vmm.AllOptimizations},
+				k.n, k.typ, vmm.Kernel2628, aicPolicy, perPortRate(k.n, 10), aicWarm)
+		}
+		c.m = scaleMeasure{total: r.util.Total, dom0: r.util.Dom0, xen: r.util.Xen,
+			guests: r.util.Guests, tput: r.goodput.Gbps()}
+	})
+	return c.m
+}
+
+// sweepPoints builds one Point per VM count for the given path and domain
+// type, labelled prefix+count ("10" … "60", or "hvm-10" … for a figure's
+// comparison sweep).
+func sweepPoints(pv bool, typ vmm.DomainType, prefix string) []Point {
+	pts := make([]Point, 0, len(vmCounts))
+	for _, n := range vmCounts {
+		k := sweepKey{pv: pv, typ: typ, n: n}
+		pts = append(pts, Point{
+			Label: fmt.Sprintf("%s%d", prefix, n),
+			Run:   func(uint64) any { return sweepPoint(k) },
+		})
+	}
+	return pts
+}
+
+// sweepOf reindexes six point results (in vmCounts order) by VM count.
+func sweepOf(results []any) map[int]scaleMeasure {
+	out := make(map[int]scaleMeasure, len(vmCounts))
+	for i, n := range vmCounts {
+		out[n] = results[i].(scaleMeasure)
+	}
+	return out
+}
+
+// fillScale adds the standard five scalability series.
+func fillScale(f *report.Figure, sw map[int]scaleMeasure) {
 	totalS := f.AddSeries("total-cpu", "%")
 	dom0S := f.AddSeries("dom0", "%")
 	xenS := f.AddSeries("xen", "%")
@@ -46,63 +133,20 @@ func (sr scaleResult) fill(f *report.Figure) {
 	tputS := f.AddSeries("throughput", "Gbps")
 	for _, n := range vmCounts {
 		label := fmt.Sprintf("%d", n)
-		totalS.Add(label, sr.total[n])
-		dom0S.Add(label, sr.dom0[n])
-		xenS.Add(label, sr.xen[n])
-		guestS.Add(label, sr.guests[n])
-		tputS.Add(label, sr.tput[n])
+		m := sw[n]
+		totalS.Add(label, m.total)
+		dom0S.Add(label, m.dom0)
+		xenS.Add(label, m.xen)
+		guestS.Add(label, m.guests)
+		tputS.Add(label, m.tput)
 	}
-}
-
-var sriovScaleCache = map[vmm.DomainType]*scaleResult{}
-
-// sriovScale runs the SR-IOV scalability sweep for one domain flavour
-// (memoized: Fig. 15 and Fig. 16 cross-reference each other's sweeps).
-func sriovScale(typ vmm.DomainType) scaleResult {
-	if c := sriovScaleCache[typ]; c != nil {
-		return *c
-	}
-	out := newScaleResult()
-	for _, n := range vmCounts {
-		r := runSRIOV(core.Config{Ports: 10, Opts: vmm.AllOptimizations}, n, typ, vmm.Kernel2628,
-			aicPolicy, perPortRate(n, 10), aicWarm)
-		out.total[n] = r.util.Total
-		out.dom0[n] = r.util.Dom0
-		out.xen[n] = r.util.Xen
-		out.guests[n] = r.util.Guests
-		out.tput[n] = r.goodput.Gbps()
-	}
-	sriovScaleCache[typ] = &out
-	return out
-}
-
-var pvScaleCache = map[vmm.DomainType]*scaleResult{}
-
-// pvScale runs the PV NIC sweep with the §6.5 enhanced multi-thread
-// backend (memoized; Fig. 18 compares against Fig. 17's sweep).
-func pvScale(typ vmm.DomainType) scaleResult {
-	if c := pvScaleCache[typ]; c != nil {
-		return *c
-	}
-	out := newScaleResult()
-	for _, n := range vmCounts {
-		r := runPV(core.Config{Ports: 10, Opts: vmm.AllOptimizations, NetbackThreads: model.NetbackThreadsEnhanced},
-			n, typ, vmm.Kernel2628, perPortRate(n, 10))
-		out.total[n] = r.util.Total
-		out.dom0[n] = r.util.Dom0
-		out.xen[n] = r.util.Xen
-		out.guests[n] = r.util.Guests
-		out.tput[n] = r.goodput.Gbps()
-	}
-	pvScaleCache[typ] = &out
-	return out
 }
 
 // slope reports the per-VM CPU increment between 10 and 60 VMs.
-func slope(m map[int]float64) float64 { return (m[60] - m[10]) / 50 }
+func slopeOf(sw map[int]scaleMeasure) float64 { return (sw[60].total - sw[10].total) / 50 }
 
-// Fig15 is SR-IOV HVM scalability.
-func Fig15() *report.Figure {
+// buildFig15 assembles SR-IOV HVM scalability.
+func buildFig15(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig15",
 		Title: "SR-IOV scalability, HVM, 10–60 VMs, aggregate 10 GbE",
@@ -114,19 +158,20 @@ func Fig15() *report.Figure {
 			"each additional HVM guest costs ~2.8% CPU",
 		},
 	}
-	sr := sriovScale(vmm.HVM)
-	sr.fill(f)
+	sw := sweepOf(results)
+	fillScale(f, sw)
 	for _, n := range vmCounts {
-		f.CheckRange(fmt.Sprintf("line rate at %d VMs", n), sr.tput[n], 9.3, 9.7)
+		f.CheckRange(fmt.Sprintf("line rate at %d VMs", n), sw[n].tput, 9.3, 9.7)
 	}
-	f.CheckRange("per-VM CPU slope ≈2.8%", slope(sr.total), 1.2, 4.5)
-	f.CheckTrue("CPU grows monotonically", sr.total[60] > sr.total[30] && sr.total[30] > sr.total[10],
-		fmt.Sprintf("10=%.0f 30=%.0f 60=%.0f", sr.total[10], sr.total[30], sr.total[60]))
+	f.CheckRange("per-VM CPU slope ≈2.8%", slopeOf(sw), 1.2, 4.5)
+	f.CheckTrue("CPU grows monotonically", sw[60].total > sw[30].total && sw[30].total > sw[10].total,
+		fmt.Sprintf("10=%.0f 30=%.0f 60=%.0f", sw[10].total, sw[30].total, sw[60].total))
 	return f
 }
 
-// Fig16 is SR-IOV PVM scalability.
-func Fig16() *report.Figure {
+// buildFig16 assembles SR-IOV PVM scalability (points: six PVM cells then
+// six HVM comparison cells).
+func buildFig16(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig16",
 		Title: "SR-IOV scalability, PVM, 10–60 VMs, aggregate 10 GbE",
@@ -136,28 +181,28 @@ func Fig16() *report.Figure {
 			"at 10 VMs PVM consumes slightly more than HVM (x86-64 page-table switch per syscall)",
 		},
 	}
-	pv := sriovScale(vmm.PVM)
-	hv := sriovScale(vmm.HVM)
-	pv.fill(f)
+	pv := sweepOf(results[:len(vmCounts)])
+	hv := sweepOf(results[len(vmCounts):])
+	fillScale(f, pv)
 	for _, n := range vmCounts {
-		f.CheckRange(fmt.Sprintf("line rate at %d VMs", n), pv.tput[n], 9.3, 9.7)
+		f.CheckRange(fmt.Sprintf("line rate at %d VMs", n), pv[n].tput, 9.3, 9.7)
 	}
-	pvSlope, hvSlope := slope(pv.total), slope(hv.total)
+	pvSlope, hvSlope := slopeOf(pv), slopeOf(hv)
 	f.CheckRange("per-VM CPU slope ≈1.76%", pvSlope, 0.4, 3.0)
 	f.CheckTrue("PVM slope below HVM slope (2.8 vs 1.76)", pvSlope < hvSlope,
 		fmt.Sprintf("pvm=%.2f hvm=%.2f", pvSlope, hvSlope))
 	f.CheckTrue("at 10 VMs PVM ≥ HVM (syscall page-table switch)",
-		pv.total[10] > hv.total[10]-5,
-		fmt.Sprintf("pvm=%.0f hvm=%.0f", pv.total[10], hv.total[10]))
+		pv[10].total > hv[10].total-5,
+		fmt.Sprintf("pvm=%.0f hvm=%.0f", pv[10].total, hv[10].total))
 	cmp := f.AddSeries("hvm-total-cpu", "%")
 	for _, n := range vmCounts {
-		cmp.Add(fmt.Sprintf("%d", n), hv.total[n])
+		cmp.Add(fmt.Sprintf("%d", n), hv[n].total)
 	}
 	return f
 }
 
-// Fig17 is PV NIC HVM scalability.
-func Fig17() *report.Figure {
+// buildFig17 assembles PV NIC HVM scalability.
+func buildFig17(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig17",
 		Title: "PV NIC scalability, HVM, enhanced multi-thread netback",
@@ -166,18 +211,19 @@ func Fig17() *report.Figure {
 			"dom0 ≈431% (event-channel→LAPIC conversion on top of the copy)",
 		},
 	}
-	sr := pvScale(vmm.HVM)
-	sr.fill(f)
-	f.CheckTrue("throughput declines with VM#", sr.tput[60] < 0.9*sr.tput[10],
-		fmt.Sprintf("10=%.2f 60=%.2f", sr.tput[10], sr.tput[60]))
-	f.CheckRange("dom0 at 60 VMs ≈431%", sr.dom0[60], 330, 560)
-	f.CheckTrue("dom0 grows with VM#", sr.dom0[60] > sr.dom0[10],
-		fmt.Sprintf("10=%.0f 60=%.0f", sr.dom0[10], sr.dom0[60]))
+	sw := sweepOf(results)
+	fillScale(f, sw)
+	f.CheckTrue("throughput declines with VM#", sw[60].tput < 0.9*sw[10].tput,
+		fmt.Sprintf("10=%.2f 60=%.2f", sw[10].tput, sw[60].tput))
+	f.CheckRange("dom0 at 60 VMs ≈431%", sw[60].dom0, 330, 560)
+	f.CheckTrue("dom0 grows with VM#", sw[60].dom0 > sw[10].dom0,
+		fmt.Sprintf("10=%.0f 60=%.0f", sw[10].dom0, sw[60].dom0))
 	return f
 }
 
-// Fig18 is PV NIC PVM scalability.
-func Fig18() *report.Figure {
+// buildFig18 assembles PV NIC PVM scalability (points: six PVM cells then
+// six HVM comparison cells).
+func buildFig18(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig18",
 		Title: "PV NIC scalability, PVM, enhanced multi-thread netback",
@@ -187,22 +233,50 @@ func Fig18() *report.Figure {
 			"guests consume slightly more than in HVM (hypervisor page-table switch per syscall)",
 		},
 	}
-	pv := pvScale(vmm.PVM)
-	hv := pvScale(vmm.HVM)
-	pv.fill(f)
-	f.CheckTrue("throughput declines with VM#", pv.tput[60] < 0.9*pv.tput[10],
-		fmt.Sprintf("10=%.2f 60=%.2f", pv.tput[10], pv.tput[60]))
-	f.CheckRange("dom0 at 60 VMs ≈324%", pv.dom0[60], 250, 480)
-	f.CheckTrue("HVM dom0 above PVM dom0 (431 vs 324)", hv.dom0[60] > pv.dom0[60],
-		fmt.Sprintf("hvm=%.0f pvm=%.0f", hv.dom0[60], pv.dom0[60]))
+	pv := sweepOf(results[:len(vmCounts)])
+	hv := sweepOf(results[len(vmCounts):])
+	fillScale(f, pv)
+	f.CheckTrue("throughput declines with VM#", pv[60].tput < 0.9*pv[10].tput,
+		fmt.Sprintf("10=%.2f 60=%.2f", pv[10].tput, pv[60].tput))
+	f.CheckRange("dom0 at 60 VMs ≈324%", pv[60].dom0, 250, 480)
+	f.CheckTrue("HVM dom0 above PVM dom0 (431 vs 324)", hv[60].dom0 > pv[60].dom0,
+		fmt.Sprintf("hvm=%.0f pvm=%.0f", hv[60].dom0, pv[60].dom0))
 	f.CheckTrue("PVM guests above HVM guests per delivered bit",
-		pv.guests[10]/pv.tput[10] > hv.guests[10]/hv.tput[10]*0.98,
-		fmt.Sprintf("pvm=%.1f hvm=%.1f %%/Gbps", pv.guests[10]/pv.tput[10], hv.guests[10]/hv.tput[10]))
+		pv[10].guests/pv[10].tput > hv[10].guests/hv[10].tput*0.98,
+		fmt.Sprintf("pvm=%.1f hvm=%.1f %%/Gbps", pv[10].guests/pv[10].tput, hv[10].guests/hv[10].tput))
 	return f
 }
 
-// Fig19 is the VMDq comparison on a 10 GbE 82598.
-func Fig19() *report.Figure {
+// fig19Points builds the VMDq sweep: one point per VM count on the 82598
+// 10 GbE testbed.
+func fig19Points() []Point {
+	pts := make([]Point, 0, len(vmCounts))
+	for _, n := range vmCounts {
+		n := n
+		pts = append(pts, Point{Label: fmt.Sprintf("%d", n), Run: func(seed uint64) any {
+			tb := core.NewTestbed(core.Config{
+				Seed: seed, Ports: 1, PortRate: model.VMDqRate, Opts: vmm.AllOptimizations,
+				VMDqThreads: 2, NetbackThreads: 2,
+			})
+			perVM := units.BitRate(float64(model.VMDqRate) / float64(n))
+			for i := 0; i < n; i++ {
+				g, err := tb.AddVMDqGuest(fmt.Sprintf("guest-%d", i+1), vmm.PVM, vmm.Kernel2628, 0)
+				if err != nil {
+					panic(err)
+				}
+				tb.StartUDP(g, perVM)
+			}
+			u, res := tb.Measure(warmup, window)
+			tb.StopAll()
+			return scaleMeasure{total: u.Total, dom0: u.Dom0, xen: u.Xen,
+				guests: u.Guests, tput: core.AggregateGoodput(res).Gbps()}
+		}})
+	}
+	return pts
+}
+
+// buildFig19 assembles the VMDq comparison on a 10 GbE 82598.
+func buildFig19(results []any) *report.Figure {
 	f := &report.Figure{
 		ID:    "fig19",
 		Title: "VMDq scalability, PVM, 82598 10 GbE",
@@ -214,36 +288,20 @@ func Fig19() *report.Figure {
 			"only 7 guests get VMDq support; the rest share the network like PV NIC",
 		},
 	}
+	sw := sweepOf(results)
 	totalS := f.AddSeries("total-cpu", "%")
 	dom0S := f.AddSeries("dom0", "%")
 	tputS := f.AddSeries("throughput", "Gbps")
-	tput := map[int]float64{}
 	for _, n := range vmCounts {
-		tb := core.NewTestbed(core.Config{
-			Ports: 1, PortRate: model.VMDqRate, Opts: vmm.AllOptimizations,
-			VMDqThreads: 2, NetbackThreads: 2,
-		})
-		perVM := units.BitRate(float64(model.VMDqRate) / float64(n))
-		for i := 0; i < n; i++ {
-			g, err := tb.AddVMDqGuest(fmt.Sprintf("guest-%d", i+1), vmm.PVM, vmm.Kernel2628, 0)
-			if err != nil {
-				panic(err)
-			}
-			tb.StartUDP(g, perVM)
-		}
-		u, res := tb.Measure(warmup, window)
-		tb.StopAll()
 		label := fmt.Sprintf("%d", n)
-		totalS.Add(label, u.Total)
-		dom0S.Add(label, u.Dom0)
-		g := core.AggregateGoodput(res).Gbps()
-		tputS.Add(label, g)
-		tput[n] = g
+		totalS.Add(label, sw[n].total)
+		dom0S.Add(label, sw[n].dom0)
+		tputS.Add(label, sw[n].tput)
 	}
-	f.CheckTrue("peak at 10 VMs", tput[10] > tput[20] && tput[10] > tput[60],
-		fmt.Sprintf("10=%.2f 20=%.2f 60=%.2f", tput[10], tput[20], tput[60]))
-	f.CheckTrue("progressive decline", tput[60] < 0.7*tput[10],
-		fmt.Sprintf("10=%.2f 60=%.2f", tput[10], tput[60]))
-	f.CheckRange("near line rate at 10 VMs", tput[10], 8.0, 9.7)
+	f.CheckTrue("peak at 10 VMs", sw[10].tput > sw[20].tput && sw[10].tput > sw[60].tput,
+		fmt.Sprintf("10=%.2f 20=%.2f 60=%.2f", sw[10].tput, sw[20].tput, sw[60].tput))
+	f.CheckTrue("progressive decline", sw[60].tput < 0.7*sw[10].tput,
+		fmt.Sprintf("10=%.2f 60=%.2f", sw[10].tput, sw[60].tput))
+	f.CheckRange("near line rate at 10 VMs", sw[10].tput, 8.0, 9.7)
 	return f
 }

@@ -80,7 +80,10 @@ type dirtier struct {
 }
 
 func (m *Manager) startDirtier(d *vmm.Domain) *dirtier {
-	rng := m.hv.Engine().RNG().Split()
+	// A named sub-stream keyed by the domain: the dirty-page draws are the
+	// same no matter what else in the simulation consumes randomness, and
+	// concurrent shards of a parallel run cannot perturb each other.
+	rng := m.hv.Engine().Stream("migration:dirtier:" + d.Name)
 	dm := d.Memory
 	dm.StartDirtyTracking()
 	period := 10 * units.Millisecond

@@ -116,6 +116,27 @@ func (f *Figure) FailedChecks() []Check {
 	return out
 }
 
+// Metric is one headline value of a figure: a series' final point, the
+// number the benchmark harness records for the perf trajectory (mirroring
+// what bench_test.go reports per figure).
+type Metric struct {
+	Series string  `json:"series"`
+	Unit   string  `json:"unit"`
+	Value  float64 `json:"value"`
+}
+
+// Headline returns each non-empty series' final value, in series order.
+func (f *Figure) Headline() []Metric {
+	out := make([]Metric, 0, len(f.Series))
+	for _, s := range f.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		out = append(out, Metric{Series: s.Name, Unit: s.Unit, Value: s.Last()})
+	}
+	return out
+}
+
 // xLabels returns the union of X labels across series, in first-seen order.
 func (f *Figure) xLabels() []string {
 	var out []string

@@ -1,0 +1,8 @@
+//go:build race
+
+package runner
+
+// raceEnabled trims the determinism test to the fast subset under the race
+// detector: the full suite twice at ~10x race overhead would flirt with the
+// package test timeout, and the subset exercises the same pool machinery.
+const raceEnabled = true

@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// suiteMarkdown renders a run the way sriovsim -all does: every figure's
+// markdown, in order. Byte equality of this string is the determinism
+// invariant.
+func suiteMarkdown(t *testing.T, s *Summary) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range s.Results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		b.WriteString(r.Figure.Markdown())
+	}
+	return b.String()
+}
+
+// determinismIDs picks the suite for the parallel-vs-serial comparison: a
+// fast subset under -short or the race detector, everything otherwise.
+func determinismIDs(t *testing.T) []string {
+	if testing.Short() || raceEnabled {
+		return []string{"fig07", "fig08", "fig09", "fig10", "fig20", "fig21"}
+	}
+	var ids []string
+	for _, s := range experiments.All() {
+		ids = append(ids, s.ID)
+	}
+	return ids
+}
+
+// TestDeterminismAcrossParallelism asserts the tentpole invariant: the full
+// experiment suite renders byte-identical figures at -parallel 1 and
+// -parallel 8. (The scale sweeps memoize across runs, which only makes the
+// comparison stricter for everything not memoized.)
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	ids := determinismIDs(t)
+	s1, err := RunIDs(ids, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := RunIDs(ids, Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md1, md8 := suiteMarkdown(t, s1), suiteMarkdown(t, s8)
+	if md1 != md8 {
+		line := firstDiffLine(md1, md8)
+		t.Fatalf("suite output differs between -parallel 1 and -parallel 8; first differing line:\n%s", line)
+	}
+	if s1.Tasks != s8.Tasks {
+		t.Fatalf("task counts differ: %d vs %d", s1.Tasks, s8.Tasks)
+	}
+}
+
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "p1: " + al[i] + "\np8: " + bl[i]
+		}
+	}
+	return "(outputs are prefixes of each other)"
+}
+
+// TestResultsInInputOrderAndCounted checks ordering, task accounting, and
+// the wall/events bookkeeping on a small mixed run (decomposed fig08 +
+// whole-experiment fig20).
+func TestResultsInInputOrderAndCounted(t *testing.T) {
+	s, err := RunIDs([]string{"fig20", "fig08"}, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 2 || s.Results[0].ID != "fig08" || s.Results[1].ID != "fig20" {
+		t.Fatalf("unexpected result order: %+v", s.Results)
+	}
+	fig08, ok := experiments.ByID("fig08")
+	if !ok || !fig08.Parallelizable() {
+		t.Fatal("fig08 should be decomposed")
+	}
+	if got := s.Results[0].Tasks; got != len(fig08.Points) {
+		t.Fatalf("fig08 ran as %d tasks, want %d", got, len(fig08.Points))
+	}
+	if s.Results[1].Tasks != 1 {
+		t.Fatalf("fig20 ran as %d tasks, want 1", s.Results[1].Tasks)
+	}
+	if s.Events == 0 {
+		t.Fatal("no simulation events recorded")
+	}
+	if s.TaskWall.N() != int64(s.Tasks) {
+		t.Fatalf("task-wall samples %d != tasks %d", s.TaskWall.N(), s.Tasks)
+	}
+	for _, r := range s.Results {
+		if r.Wall <= 0 {
+			t.Fatalf("%s has no wall time", r.ID)
+		}
+	}
+}
+
+// TestPanicIsolation: a panicking point fails its own experiment and leaves
+// the rest of the pool running.
+func TestPanicIsolation(t *testing.T) {
+	specs := []experiments.Spec{
+		{
+			ID: "boom", Title: "panics",
+			Points: []experiments.Point{
+				{Label: "a", Run: func(uint64) any { return 1 }},
+				{Label: "b", Run: func(uint64) any { panic("kaboom") }},
+			},
+			Build: func([]any) *report.Figure { return &report.Figure{ID: "boom"} },
+		},
+		{
+			ID: "fine", Title: "works",
+			Run: func() *report.Figure { return &report.Figure{ID: "fine", Title: "ok"} },
+		},
+	}
+	s := Run(specs, Options{Parallel: 2})
+	if s.Results[0].Err == nil || s.Results[0].Figure != nil {
+		t.Fatalf("panicking experiment not failed: %+v", s.Results[0])
+	}
+	if !strings.Contains(s.Results[0].Err.Error(), "kaboom") {
+		t.Fatalf("panic message lost: %v", s.Results[0].Err)
+	}
+	if s.Results[1].Err != nil || s.Results[1].Figure == nil {
+		t.Fatalf("healthy experiment affected: %+v", s.Results[1])
+	}
+	if len(s.Failed()) != 1 {
+		t.Fatalf("Failed() = %d entries, want 1", len(s.Failed()))
+	}
+}
+
+// TestUnknownID rejects bad ids.
+func TestUnknownID(t *testing.T) {
+	if _, err := RunIDs([]string{"fig99"}, Options{}); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+// TestPointLabelsUnique guards the seed derivation: within an experiment,
+// labels must be unique or two points would share an engine seed.
+func TestPointLabelsUnique(t *testing.T) {
+	for _, s := range experiments.All() {
+		seen := map[string]bool{}
+		for _, p := range s.Points {
+			if seen[p.Label] {
+				t.Errorf("%s: duplicate point label %q", s.ID, p.Label)
+			}
+			seen[p.Label] = true
+		}
+	}
+}

@@ -11,6 +11,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/units"
 )
@@ -86,10 +87,15 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	seed    uint64
 	rng     *RNG
+	streams map[string]*RNG
 	stopped bool
 	// processed counts events executed, for diagnostics and runaway guards.
 	processed uint64
+	// flushed is the portion of processed already added to the global
+	// counter (see TotalProcessed).
+	flushed uint64
 	// limit bounds the number of executed events; 0 means unlimited.
 	limit uint64
 }
@@ -97,14 +103,56 @@ type Engine struct {
 // NewEngine returns an engine at time zero with a deterministic RNG seeded
 // by seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed)}
+	return &Engine{seed: seed, rng: NewRNG(seed)}
 }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// RNG returns the engine's deterministic random source.
+// Seed reports the seed the engine was created with.
+func (e *Engine) Seed() uint64 { return e.seed }
+
+// RNG returns the engine's root deterministic random source. Components
+// should not draw from it directly — use Stream so each consumer has its
+// own named sub-stream and adding one consumer cannot perturb another's
+// draws.
 func (e *Engine) RNG() *RNG { return e.rng }
+
+// Stream returns the engine's named random sub-stream, creating it on first
+// use. The stream's sequence depends only on the engine seed and the name:
+// not on when it is claimed, how many other streams exist, or what has been
+// drawn from any of them. Repeated calls with one name return the same
+// (stateful) generator.
+func (e *Engine) Stream(name string) *RNG {
+	if e.streams == nil {
+		e.streams = make(map[string]*RNG)
+	}
+	r, ok := e.streams[name]
+	if !ok {
+		r = e.rng.Stream(name)
+		e.streams[name] = r
+	}
+	return r
+}
+
+// totalProcessed accumulates events executed across every engine in the
+// process (atomically — parallel runners drive one engine per goroutine).
+// It feeds the benchmark harness's events/sec figure.
+var totalProcessed atomic.Uint64
+
+// TotalProcessed reports the process-wide number of simulation events
+// executed across all engines.
+func TotalProcessed() uint64 { return totalProcessed.Load() }
+
+// flushProcessed publishes this engine's not-yet-counted events to the
+// process-wide counter. Called at the end of RunUntil so the atomic is
+// touched once per run, not once per event.
+func (e *Engine) flushProcessed() {
+	if d := e.processed - e.flushed; d > 0 {
+		totalProcessed.Add(d)
+		e.flushed = e.processed
+	}
+}
 
 // Processed reports how many events have been executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -144,6 +192,7 @@ func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
 // clock to the deadline (if it is later than the last event) and returns it.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
+	defer e.flushProcessed()
 	for len(e.events) > 0 && !e.stopped {
 		next := e.events[0]
 		if next.when > deadline {

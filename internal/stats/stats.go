@@ -134,6 +134,53 @@ func (s *Series) Rate(i int) float64 {
 	return s.Bucket(i) / s.width.Seconds()
 }
 
+// Welford is an online mean/variance accumulator (Welford's algorithm) for
+// streams whose samples need not be retained — per-task wall times in the
+// experiment runner, for example. The zero value is ready to use.
+type Welford struct {
+	n          int64
+	mean, m2   float64
+	minV, maxV float64
+}
+
+// Observe records one sample.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.minV, w.maxV = x, x
+	} else {
+		if x < w.minV {
+			w.minV = x
+		}
+		if x > w.maxV {
+			w.maxV = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N reports the sample count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean reports the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var reports the population variance (0 with fewer than two samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Min reports the smallest sample (0 if empty).
+func (w *Welford) Min() float64 { return w.minV }
+
+// Max reports the largest sample (0 if empty).
+func (w *Welford) Max() float64 { return w.maxV }
+
 // Histogram is a fixed-bound bucket histogram for durations (e.g. latency).
 type Histogram struct {
 	bounds []units.Duration // upper bounds, ascending
