@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 25] [-metric-threshold 0.1] [-warn-only] base.json new.json
+//	benchdiff [-threshold 25] [-metric-threshold 0.1] [-warn-only] [-wall-warn-only] base.json new.json
 //
 // Wall-clock figures (per-experiment wall, events/sec, go-bench ns/op) use
 // -threshold (percent); deterministic headline metrics use -metric-threshold,
 // tight by default because any drift in a seeded simulation means the model's
 // behavior changed. -warn-only prints the report but always exits zero (for
-// non-blocking CI introduction).
+// non-blocking CI introduction). -wall-warn-only demotes only the wall-clock
+// regressions to warnings while deterministic metric drift still fails —
+// the blocking mode for noisy shared CI runners.
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0, "allowed wall-clock slowdown in percent (0 = default 25)")
 	metricThreshold := flag.Float64("metric-threshold", 0, "allowed headline-metric drift in percent (0 = default 0.1)")
 	warnOnly := flag.Bool("warn-only", false, "report regressions but exit zero")
+	wallWarnOnly := flag.Bool("wall-warn-only", false, "demote wall-clock regressions to warnings; deterministic metrics still fail")
 	flag.Parse()
 
 	if flag.NArg() != 2 {
@@ -46,6 +49,7 @@ func main() {
 	r := bench.Compare(base, cur, bench.CompareOptions{
 		WallThresholdPct:   *threshold,
 		MetricThresholdPct: *metricThreshold,
+		WallWarnOnly:       *wallWarnOnly,
 	})
 	fmt.Printf("base: %s\nnew:  %s\n\n%s", base.Summary(), cur.Summary(), r)
 	if r.Failed() {

@@ -7,6 +7,8 @@
 //	sriovsim -all -parallel 8        # shard experiments across 8 workers
 //	sriovsim -all -bench-out BENCH.json  # also emit the benchmark record
 //	sriovsim -all -profile out       # write out.cpu.pprof / out.heap.pprof
+//	sriovsim -fig 7 -trace-out trace.json    # Perfetto/chrome://tracing export
+//	sriovsim -fig 7 -metrics-out metrics.json  # dump the merged metrics registry
 //	sriovsim -list                   # list available experiments
 //
 // Output is byte-identical at any -parallel value: experiments shard into
@@ -25,7 +27,9 @@ import (
 	"strconv"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/trace"
 	"repro/internal/workload"
 
 	sriov "repro"
@@ -40,6 +44,8 @@ func main() {
 	benchOut := flag.String("bench-out", "", "write a BENCH.json benchmark record to this file")
 	goBench := flag.String("gobench", "", "merge `go test -bench` output from this file into -bench-out")
 	profile := flag.String("profile", "", "write PREFIX.cpu.pprof and PREFIX.heap.pprof profiles")
+	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON of a representative run to this file")
+	metricsOut := flag.String("metrics-out", "", "write the run's merged metrics registry as JSON to this file")
 	quiet := flag.Bool("q", false, "suppress per-task progress on stderr")
 	flag.Parse()
 
@@ -53,13 +59,13 @@ func main() {
 			fmt.Printf("%-8s %-10s %s\n", s.ID, kind, s.Title)
 		}
 	case *all:
-		os.Exit(runSuite(nil, *parallel, *csv, *quiet, *benchOut, *goBench, *profile))
+		os.Exit(runSuite(nil, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
 	case *fig != "":
 		id := *fig
 		if _, err := strconv.Atoi(id); err == nil {
 			id = fmt.Sprintf("fig%02s", id)
 		}
-		os.Exit(runSuite([]string{id}, *parallel, *csv, *quiet, *benchOut, *goBench, *profile))
+		os.Exit(runSuite([]string{id}, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -67,9 +73,10 @@ func main() {
 }
 
 // runSuite runs the named experiments (all when ids is nil) through the
-// worker-pool runner, prints each figure, and optionally emits profiles and a
-// BENCH.json record. Returns the process exit code.
-func runSuite(ids []string, parallel int, csv, quiet bool, benchOut, goBenchPath, profilePrefix string) int {
+// worker-pool runner, prints each figure, and optionally emits profiles, a
+// BENCH.json record, a Perfetto trace, and a metrics dump. Returns the
+// process exit code.
+func runSuite(ids []string, parallel int, csv, quiet bool, benchOut, goBenchPath, profilePrefix, traceOut, metricsOut string) int {
 	stopCPU, err := startCPUProfile(profilePrefix)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -136,6 +143,22 @@ func runSuite(ids []string, parallel int, csv, quiet bool, benchOut, goBenchPath
 		fmt.Fprintf(os.Stderr, "bench: %s\nbench: wrote %s\n", f.Summary(), benchOut)
 	}
 
+	if metricsOut != "" {
+		if err := writeMetrics(metricsOut, sum); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "obs: wrote %s\n", metricsOut)
+	}
+
+	if traceOut != "" {
+		if err := writeTrace(traceOut, ids); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "obs: wrote %s (load in ui.perfetto.dev or chrome://tracing)\n", traceOut)
+	}
+
 	if failed := sum.Failed(); len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed or had failing shape checks:\n", len(failed))
 		for _, r := range failed {
@@ -150,6 +173,47 @@ func runSuite(ids []string, parallel int, csv, quiet bool, benchOut, goBenchPath
 		return 1
 	}
 	return 0
+}
+
+// writeMetrics dumps the suite's merged metrics registry as JSON.
+func writeMetrics(path string, sum *runner.Summary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sum.Obs.WriteJSON(f)
+}
+
+// writeTrace re-runs the first selected experiment that carries an Observe
+// hook with trace and span sinks installed and exports the result as Chrome
+// trace-event JSON. The observational run is separate from the suite run —
+// its metrics are discarded — so suite output stays byte-identical whether
+// or not -trace-out is given.
+func writeTrace(path string, ids []string) error {
+	want := func(string) bool { return true }
+	if ids != nil {
+		sel := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			sel[id] = true
+		}
+		want = func(id string) bool { return sel[id] }
+	}
+	for _, s := range sriov.Experiments() {
+		if s.Observe == nil || !want(s.ID) {
+			continue
+		}
+		tr := trace.NewBuffer(65536)
+		spans := obs.NewSpanBuffer(32768)
+		s.Observe(tr, spans)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return obs.WriteChromeTrace(f, tr.Events(), spans.Spans())
+	}
+	return fmt.Errorf("trace-out: no selected experiment has an observe hook (try -fig 7)")
 }
 
 func mergeGoBench(path string) ([]bench.GoBenchResult, error) {

@@ -59,6 +59,13 @@ type Totals struct {
 	// (runtime.MemStats TotalAlloc / Mallocs).
 	AllocBytes uint64 `json:"alloc_bytes"`
 	Mallocs    uint64 `json:"mallocs"`
+	// Observability totals from the run's merged metrics registry —
+	// deterministic per seed, so the comparator gates them tightly.
+	// IntrFired sums every queue's fired interrupts, VMExits every exit
+	// reason, MailboxRetries the VF drivers' retransmissions.
+	IntrFired      int64 `json:"intr_fired"`
+	VMExits        int64 `json:"vm_exits"`
+	MailboxRetries int64 `json:"mailbox_retries"`
 }
 
 // File is the canonical BENCH.json document.
@@ -106,6 +113,9 @@ func Collect(sum *runner.Summary, packets int64, allocBytes, mallocs uint64) *Fi
 		Packets:         packets,
 		AllocBytes:      allocBytes,
 		Mallocs:         mallocs,
+		IntrFired:       sum.Obs.SumCounters("nic.", ".intr_fired"),
+		VMExits:         sum.Obs.SumCounters("vmm.exits.", ""),
+		MailboxRetries:  sum.Obs.Counter("mailbox.retries").Value(),
 	}
 	if secs > 0 {
 		f.Totals.EventsPerSec = float64(sum.Events) / secs

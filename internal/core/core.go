@@ -17,6 +17,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/netstack"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -43,6 +44,11 @@ type Config struct {
 	// GuestMemory sizes each guest (default 128 MiB so 60 guests fit the
 	// 12 GB machine; migration experiments use model.GuestMemory guests).
 	GuestMemory units.Size
+	// Obs receives the testbed's metrics (exit counters, mailbox counters,
+	// per-hop latency histograms). nil gets a fresh registry, so metrics
+	// are always collected; experiments pass the runner's per-point
+	// registry here so the suite can merge them deterministically.
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -64,6 +70,9 @@ func (c *Config) fill() {
 	if c.GuestMemory == 0 {
 		c.GuestMemory = 128 * units.MiB
 	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
 }
 
 // Testbed is the assembled server machine.
@@ -76,6 +85,9 @@ type Testbed struct {
 	IOMMU   *iommu.IOMMU
 	HV      *vmm.Hypervisor
 	Machine *mem.Machine
+
+	// Obs is the metrics registry every component reports into.
+	Obs *obs.Registry
 
 	Ports []*nic.Port
 	PFs   []*drivers.PFDriver
@@ -113,8 +125,11 @@ func NewTestbed(cfg Config) *Testbed {
 	fabric.SetIOMMU(mmu)
 	hv := vmm.NewFlavored(eng, meter, fabric, mmu, cfg.Opts, cfg.Flavor)
 
+	hv.Obs = cfg.Obs
+
 	tb := &Testbed{
 		cfg: cfg, Eng: eng, Meter: meter, Fabric: fabric, IOMMU: mmu, HV: hv,
+		Obs:     cfg.Obs,
 		Machine: mem.NewMachine(model.ServerMemory),
 		nextMAC: 0x02_00_00_00_00_01,
 	}
@@ -137,6 +152,7 @@ func NewTestbed(cfg Config) *Testbed {
 				NumVFs: cfg.VFsPerPort,
 				Rate:   cfg.PortRate,
 			})
+			p.Obs = cfg.Obs
 			fabric.Attach(sw.Downstream(i), p.Device())
 			tb.Ports = append(tb.Ports, p)
 			portIdx++
@@ -293,6 +309,14 @@ func (tb *Testbed) SetTracer(b *trace.Buffer) {
 	tb.HV.Tracer = b
 	for _, p := range tb.Ports {
 		p.Tracer = b
+	}
+}
+
+// SetSpans installs a span buffer on every port, so drained batches leave
+// per-hop spans for the trace exporter.
+func (tb *Testbed) SetSpans(s *obs.SpanBuffer) {
+	for _, p := range tb.Ports {
+		p.Spans = s
 	}
 }
 

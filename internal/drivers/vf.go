@@ -8,6 +8,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/netstack"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -66,6 +67,14 @@ type VFDriver struct {
 	MboxFailures int64
 	// Reinits counts FLR-based driver re-initializations.
 	Reinits int64
+
+	// Mailbox metric counters ("mailbox.retries" etc.), shared across VFs
+	// through the port's registry; nil when metrics are off.
+	obsRetries  *obs.Counter
+	obsTimeouts *obs.Counter
+	obsFailures *obs.Counter
+	// obsITR mirrors the last programmed throttle interval in µs.
+	obsITR *obs.Gauge
 }
 
 // VFConfig parameterizes driver attach.
@@ -95,7 +104,13 @@ func AttachVFDriver(hv *vmm.Hypervisor, dom *vmm.Domain, port *nic.Port, vf int,
 	d := &VFDriver{
 		hv: hv, dom: dom, port: port, vf: vf,
 		queue: q, recv: recv, policy: cfg.Policy, mac: cfg.MAC,
+		obsRetries:  port.Obs.Counter("mailbox.retries"),
+		obsTimeouts: port.Obs.Counter("mailbox.timeouts"),
+		obsFailures: port.Obs.Counter("mailbox.failures"),
+		obsITR:      port.Obs.Gauge("vf." + q.Name() + ".itr_us"),
 	}
+	// Attribute this queue's hop latencies to the owning VM as well.
+	q.SetVMTrack(obs.NewPathTrack(port.Obs, "path.vm."+dom.Name))
 
 	// Driver probe: the guest enumerates the virtual config space IOVM
 	// presents (§4.1), finds the MSI capability and enables it — every
@@ -188,6 +203,7 @@ func (d *VFDriver) applyRate(hz float64) {
 	if hz > 0 {
 		us = uint64(1e6 / hz)
 	}
+	d.obsITR.Set(float64(us))
 	d.hv.GuestMMIOWrite(d.dom, d.queue.Function(), 0, nic.RegEITR0, us)
 }
 
@@ -255,10 +271,12 @@ func (d *VFDriver) onMboxTimeout() {
 		return
 	}
 	d.MboxTimeouts++
+	d.obsTimeouts.Inc()
 	if d.mboxAttempts >= model.MailboxMaxAttempts {
 		// Retry exhaustion: the driver gives up and reports the channel
 		// dead (Healthy goes false; the watchdog may later FLR).
 		d.MboxFailures++
+		d.obsFailures.Inc()
 		d.mboxDead = true
 		d.port.Tracer.Emitf(d.hv.Engine().Now(), "vf", "mbox-dead",
 			"%s: %s abandoned after %d attempts",
@@ -268,6 +286,7 @@ func (d *VFDriver) onMboxTimeout() {
 		return
 	}
 	d.MboxRetries++
+	d.obsRetries.Inc()
 	d.hv.ChargeGuest(d.dom, "isr", 2000) // retransmit path
 	d.sendPending()
 }

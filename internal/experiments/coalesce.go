@@ -7,6 +7,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/netstack"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/units"
 	"repro/internal/vmm"
@@ -42,12 +43,12 @@ func coalescePolicies() []netstack.ITRPolicy {
 
 // coalescePointsFor builds one Point per coalescing policy, labelled by the
 // policy name, running the given per-policy measurement.
-func coalescePointsFor(run func(policyIdx int, seed uint64) any) []Point {
+func coalescePointsFor(run func(policyIdx int, seed uint64, reg *obs.Registry) any) []Point {
 	var pts []Point
 	for i, p := range coalescePolicies() {
 		i := i
-		pts = append(pts, Point{Label: p.String(), Run: func(seed uint64) any {
-			return run(i, seed)
+		pts = append(pts, Point{Label: p.String(), Run: func(seed uint64, reg *obs.Registry) any {
+			return run(i, seed, reg)
 		}})
 	}
 	return pts
@@ -62,9 +63,9 @@ type coalesceMeasure struct {
 	intrHz float64
 }
 
-func fig08Point(policyIdx int, seed uint64) any {
+func fig08Point(policyIdx int, seed uint64, reg *obs.Registry) any {
 	p := coalescePolicies()[policyIdx]
-	r := runSRIOV(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations}, 1, vmm.HVM, vmm.Kernel2628,
+	r := runSRIOV(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, Obs: reg}, 1, vmm.HVM, vmm.Kernel2628,
 		func() netstack.ITRPolicy { return p }, model.LineRateUDP, aicWarm)
 	m := coalesceMeasure{cpu: r.util.Guests + r.util.Xen, dom0: r.util.Dom0, tput: r.goodput.Mbps()}
 	// Recover the interrupt rate from the guest's receiver.
@@ -118,9 +119,9 @@ func buildFig08(results []any) *report.Figure {
 	return f
 }
 
-func fig09Point(policyIdx int, seed uint64) any {
+func fig09Point(policyIdx int, seed uint64, reg *obs.Registry) any {
 	p := coalescePolicies()[policyIdx]
-	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations})
+	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, Obs: reg})
 	g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.Kernel2628, 0, 0, p)
 	if err != nil {
 		panic(err)
@@ -172,9 +173,9 @@ func buildFig09(results []any) *report.Figure {
 // internal switch faster than the wire rate (§6.3).
 const fig10Offered = 2750 * units.Mbps
 
-func fig10Point(policyIdx int, seed uint64) any {
+func fig10Point(policyIdx int, seed uint64, reg *obs.Registry) any {
 	p := coalescePolicies()[policyIdx]
-	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations})
+	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, Obs: reg})
 	g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.Kernel2628, 0, 0, p)
 	if err != nil {
 		panic(err)

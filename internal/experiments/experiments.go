@@ -13,8 +13,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/netstack"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/vmm"
 )
@@ -24,10 +26,13 @@ import (
 // point builds its own testbeds (so its own engines) and shares no mutable
 // state with other points; a parallel runner may execute points of one
 // experiment on different goroutines in any order. seed is the stable
-// per-point seed (PointSeed) to use for every engine the point creates.
+// per-point seed (PointSeed) to use for every engine the point creates;
+// reg is the point's private metrics registry — the caller owns it and
+// (for a parallel runner) merges the per-point registries in point order
+// afterwards, so points never share instruments.
 type Point struct {
 	Label string
-	Run   func(seed uint64) any
+	Run   func(seed uint64, reg *obs.Registry) any
 }
 
 // Spec describes one reproducible experiment.
@@ -45,6 +50,12 @@ type Spec struct {
 	Points []Point
 	// Build assembles the figure from the point results, in Points order.
 	Build func(results []any) *report.Figure
+
+	// Observe, when set, re-runs a representative workload with the given
+	// trace and span sinks installed — the backing for `sriovsim
+	// -trace-out`. It is observational only: the metrics it produces are
+	// discarded, never merged into suite output.
+	Observe func(tr *trace.Buffer, spans *obs.SpanBuffer)
 }
 
 // Parallelizable reports whether the experiment decomposes into points.
@@ -69,11 +80,21 @@ func registerPoints(id, title string, points []Point, build func([]any) *report.
 		Run: func() *report.Figure {
 			results := make([]any, len(points))
 			for i, p := range points {
-				results[i] = p.Run(PointSeed(id, p.Label))
+				results[i] = p.Run(PointSeed(id, p.Label), obs.NewRegistry())
 			}
 			return build(results)
 		},
 	})
+}
+
+// setObserve attaches an Observe hook to an already-registered experiment.
+func setObserve(id string, fn func(tr *trace.Buffer, spans *obs.SpanBuffer)) {
+	s, ok := registry[id]
+	if !ok {
+		panic("experiments: setObserve on unknown id " + id)
+	}
+	s.Observe = fn
+	registry[id] = s
 }
 
 // ByID looks an experiment up ("fig06" ... "fig21").

@@ -6,7 +6,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/netstack"
+	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/vmm"
 )
@@ -39,13 +41,13 @@ func fig06Points() []Point {
 	pts := make([]Point, 0, len(fig06VMCounts))
 	for _, n := range fig06VMCounts {
 		n := n
-		pts = append(pts, Point{Label: fmt.Sprintf("%d-VM", n), Run: func(seed uint64) any {
+		pts = append(pts, Point{Label: fmt.Sprintf("%d-VM", n), Run: func(seed uint64, reg *obs.Registry) any {
 			rate := perPortRate(n, 1)
 			// Warm past the dynamic moderation's first pps sample so shared
 			// ports measure at the settled interrupt rate.
-			unopt := runSRIOV(core.Config{Seed: seed, Ports: 1}, n,
+			unopt := runSRIOV(core.Config{Seed: seed, Ports: 1, Obs: reg}, n,
 				vmm.HVM, vmm.KernelRHEL5, dynamicPolicy, rate, aicWarm)
-			opt := runSRIOV(core.Config{Seed: seed, Ports: 1, Opts: vmm.Optimizations{MaskAccel: true}}, n,
+			opt := runSRIOV(core.Config{Seed: seed, Ports: 1, Opts: vmm.Optimizations{MaskAccel: true}, Obs: reg}, n,
 				vmm.HVM, vmm.KernelRHEL5, dynamicPolicy, rate, aicWarm)
 			return fig06Measure{
 				dom0Unopt: unopt.util.Dom0, dom0Opt: opt.util.Dom0,
@@ -102,16 +104,31 @@ func buildFig06(results []any) *report.Figure {
 	return f
 }
 
-// fig07Measure is one tracing run: the per-exit-reason breakdown and total
-// cycles/second.
+// fig07Hops are the packet-path hops whose latency percentiles Fig. 7's
+// companion series report: the end-to-end doorbell→interrupt delta (carries
+// the EITR throttle wait) and the interrupt→drain delta (the ISR's share).
+var fig07Hops = []string{obs.HopDoorbellToIntr, obs.HopIntrToDrain}
+
+// hopQuantiles is one hop's latency summary in microseconds.
+type hopQuantiles struct {
+	p50, p95, p99 float64
+}
+
+// fig07Measure is one tracing run: the per-exit-reason breakdown, total
+// cycles/second, and the VF queue's per-hop latency percentiles.
 type fig07Measure struct {
 	perReason map[vmm.ExitReason]vmm.ExitRecord
 	total     float64
+	hops      map[string]hopQuantiles
+}
+
+func quantMicros(h *obs.Hist, q float64) float64 {
+	return float64(h.Quantile(q)) / float64(units.Microsecond)
 }
 
 // fig07Run traces all VM-exits of a single HVM guest at 1 GbE line rate.
-func fig07Run(seed uint64, opts vmm.Optimizations) fig07Measure {
-	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: opts})
+func fig07Run(seed uint64, reg *obs.Registry, opts vmm.Optimizations) fig07Measure {
+	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: opts, Obs: reg})
 	g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.KernelRHEL5, 0, 0, dynamicPolicy())
 	if err != nil {
 		panic(err)
@@ -132,16 +149,23 @@ func fig07Run(seed uint64, opts vmm.Optimizations) fig07Measure {
 		out[r] = *rec
 		tot += float64(rec.Cycles)
 	}
-	return fig07Measure{perReason: out, total: tot / secs}
+	hops := make(map[string]hopQuantiles, len(fig07Hops))
+	for _, hop := range fig07Hops {
+		h := tb.Obs.FindHistogram("path.eth0/vf0." + hop)
+		hops[hop] = hopQuantiles{
+			p50: quantMicros(h, 0.50), p95: quantMicros(h, 0.95), p99: quantMicros(h, 0.99),
+		}
+	}
+	return fig07Measure{perReason: out, total: tot / secs, hops: hops}
 }
 
 func fig07Points() []Point {
 	return []Point{
-		{Label: "unopt", Run: func(seed uint64) any {
-			return fig07Run(seed, vmm.Optimizations{MaskAccel: true})
+		{Label: "unopt", Run: func(seed uint64, reg *obs.Registry) any {
+			return fig07Run(seed, reg, vmm.Optimizations{MaskAccel: true})
 		}},
-		{Label: "eoi-accel", Run: func(seed uint64) any {
-			return fig07Run(seed, vmm.Optimizations{MaskAccel: true, EOIAccel: true})
+		{Label: "eoi-accel", Run: func(seed uint64, reg *obs.Registry) any {
+			return fig07Run(seed, reg, vmm.Optimizations{MaskAccel: true, EOIAccel: true})
 		}},
 	}
 }
@@ -193,7 +217,36 @@ func buildFig07(results []any) *report.Figure {
 	tot := f.AddSeries("total", "Mcycles/s")
 	tot.Add("unopt", totalUnopt/1e6)
 	tot.Add("eoi-accel", totalOpt/1e6)
+
+	// Per-hop packet-path latency percentiles for the VF queue — headline
+	// metrics (each series' last point) that the bench comparator gates.
+	for _, hop := range fig07Hops {
+		add := f.AddLatencyPercentiles("lat-" + hop)
+		for i, label := range []string{"unopt", "eoi-accel"} {
+			q := results[i].(fig07Measure).hops[hop]
+			add(label, q.p50, q.p95, q.p99)
+		}
+	}
 	return f
+}
+
+func init() {
+	// Fig. 7's single-guest line-rate run doubles as the `-trace-out`
+	// workload: one VF, every control-plane event and packet hop visible.
+	setObserve("fig07", func(tr *trace.Buffer, spans *obs.SpanBuffer) {
+		seed := PointSeed("fig07", "observe")
+		tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1,
+			Opts: vmm.Optimizations{MaskAccel: true, EOIAccel: true}})
+		tb.SetTracer(tr)
+		tb.SetSpans(spans)
+		g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.KernelRHEL5, 0, 0, dynamicPolicy())
+		if err != nil {
+			panic(err)
+		}
+		tb.StartUDP(g, model.LineRateUDP)
+		tb.Eng.RunUntil(tb.Eng.Now().Add(warmup + window))
+		tb.StopAll()
+	})
 }
 
 // fig12Rows is the optimization ladder of §6.2, plus the native baseline.
@@ -228,9 +281,9 @@ func fig12Points() []Point {
 	pts := make([]Point, 0, len(rows))
 	for i, row := range rows {
 		i, label := i, row.label
-		pts = append(pts, Point{Label: label, Run: func(seed uint64) any {
+		pts = append(pts, Point{Label: label, Run: func(seed uint64, reg *obs.Registry) any {
 			row := fig12Rows()[i]
-			r := runSRIOV(core.Config{Seed: seed, Ports: 10, Opts: row.opts}, 10,
+			r := runSRIOV(core.Config{Seed: seed, Ports: 10, Opts: row.opts, Obs: reg}, 10,
 				row.typ, row.kernel, row.policy, model.LineRateUDP, row.warm)
 			return fig12Measure{total: r.util.Total, dom0: r.util.Dom0, xen: r.util.Xen,
 				guests: r.util.Guests, tput: r.goodput.Gbps()}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -109,7 +110,10 @@ func sweepPoints(pv bool, typ vmm.DomainType, prefix string) []Point {
 		k := sweepKey{pv: pv, typ: typ, n: n}
 		pts = append(pts, Point{
 			Label: fmt.Sprintf("%s%d", prefix, n),
-			Run:   func(uint64) any { return sweepPoint(k) },
+			// Memoized across figures: the cell ignores both the per-point
+			// seed (see sweepSeed) and the registry — a cell computed for
+			// Fig. 15 must not write metrics into Fig. 16's registry.
+			Run: func(uint64, *obs.Registry) any { return sweepPoint(k) },
 		})
 	}
 	return pts
@@ -253,10 +257,10 @@ func fig19Points() []Point {
 	pts := make([]Point, 0, len(vmCounts))
 	for _, n := range vmCounts {
 		n := n
-		pts = append(pts, Point{Label: fmt.Sprintf("%d", n), Run: func(seed uint64) any {
+		pts = append(pts, Point{Label: fmt.Sprintf("%d", n), Run: func(seed uint64, reg *obs.Registry) any {
 			tb := core.NewTestbed(core.Config{
 				Seed: seed, Ports: 1, PortRate: model.VMDqRate, Opts: vmm.AllOptimizations,
-				VMDqThreads: 2, NetbackThreads: 2,
+				VMDqThreads: 2, NetbackThreads: 2, Obs: reg,
 			})
 			perVM := units.BitRate(float64(model.VMDqRate) / float64(n))
 			for i := 0; i < n; i++ {

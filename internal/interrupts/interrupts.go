@@ -44,19 +44,37 @@ func NewAllocator() *Allocator {
 	return &Allocator{next: FirstUsableVector, owner: make(map[Vector]string)}
 }
 
-// Alloc assigns the next free vector to the named owner.
+// Alloc assigns a free vector to the named owner. The scan starts at the
+// rotor position (so consecutive allocations spread across the vector space
+// rather than immediately recycling a just-freed vector), skips vectors that
+// are still live, wraps past 255 back to the first usable vector, and fails
+// only when all usable vectors are owned.
 func (a *Allocator) Alloc(owner string) (Vector, error) {
-	if a.next == 0 { // wrapped past 255
+	const usable = 256 - int(FirstUsableVector)
+	if len(a.owner) >= usable {
 		return 0, fmt.Errorf("interrupts: out of vectors")
 	}
 	v := a.next
-	if a.next == 255 {
-		a.next = 0
-	} else {
-		a.next++
+	if v < FirstUsableVector {
+		v = FirstUsableVector
 	}
-	a.owner[v] = owner
-	return v, nil
+	for i := 0; i < usable; i++ {
+		if _, live := a.owner[v]; !live {
+			a.owner[v] = owner
+			if v == 255 {
+				a.next = FirstUsableVector
+			} else {
+				a.next = v + 1
+			}
+			return v, nil
+		}
+		if v == 255 {
+			v = FirstUsableVector
+		} else {
+			v++
+		}
+	}
+	return 0, fmt.Errorf("interrupts: out of vectors")
 }
 
 // Free releases a vector.
@@ -94,14 +112,17 @@ func (l *LAPIC) Inject(v Vector) bool {
 	return true
 }
 
-// Pending reports whether any deliverable interrupt is pending: the highest
-// pending vector must have higher priority than the highest in service.
+// Pending reports whether any deliverable interrupt is pending. APIC
+// priority is the 16-vector class (vector >> 4): the highest pending vector
+// is deliverable only when its class is strictly above the class of the
+// highest in-service vector — a pending vector in the *same* class must
+// wait for the EOI even if its number is higher.
 func (l *LAPIC) Pending() (Vector, bool) {
 	hp := l.highest(&l.irr)
 	if hp < 0 {
 		return 0, false
 	}
-	if hs := l.highest(&l.isr); hs >= hp {
+	if hs := l.highest(&l.isr); hs >= 0 && hs>>4 >= hp>>4 {
 		return 0, false
 	}
 	return Vector(hp), true

@@ -231,3 +231,122 @@ func TestEventChannelExhaustion(t *testing.T) {
 		t.Fatal("should exhaust")
 	}
 }
+
+// TestAllocatorReusesFreedVectorsPastWrap is the regression test for the
+// wrap bug: the allocator used to fail permanently once the rotor passed
+// 255, even with freed vectors available. Alloc must skip live vectors,
+// reuse freed ones, and only fail when all 224 usable vectors are owned.
+func TestAllocatorReusesFreedVectorsPastWrap(t *testing.T) {
+	a := NewAllocator()
+	const usable = 256 - int(FirstUsableVector)
+
+	// Fill the whole space, then free one vector in the middle and
+	// allocate again — repeatedly, so the rotor wraps past 255 many times.
+	vecs := make([]Vector, 0, usable)
+	for i := 0; i < usable; i++ {
+		v, err := a.Alloc("initial")
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		vecs = append(vecs, v)
+	}
+	if _, err := a.Alloc("overflow"); err == nil {
+		t.Fatal("full allocator should fail")
+	}
+	for round := 0; round < 3*usable; round++ {
+		freed := vecs[round%usable]
+		a.Free(freed)
+		v, err := a.Alloc("recycled")
+		if err != nil {
+			t.Fatalf("round %d: alloc after free failed: %v", round, err)
+		}
+		if v != freed {
+			t.Fatalf("round %d: got %d, want the only free vector %d", round, v, freed)
+		}
+		if owner, _ := a.Owner(v); owner != "recycled" {
+			t.Fatalf("round %d: owner = %q", round, owner)
+		}
+	}
+	if a.Allocated() != usable {
+		t.Fatalf("allocated = %d, want %d", a.Allocated(), usable)
+	}
+}
+
+// TestAllocatorNeverHandsOutLiveVector: with a partially freed space the
+// allocator must skip still-owned vectors instead of double-allocating.
+func TestAllocatorNeverHandsOutLiveVector(t *testing.T) {
+	a := NewAllocator()
+	const usable = 256 - int(FirstUsableVector)
+	for i := 0; i < usable; i++ {
+		if _, err := a.Alloc("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free every fourth vector; reallocate exactly that many.
+	var freed []Vector
+	for v := int(FirstUsableVector); v < 256; v += 4 {
+		a.Free(Vector(v))
+		freed = append(freed, Vector(v))
+	}
+	got := make(map[Vector]bool)
+	for range freed {
+		v, err := a.Alloc("y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[v] {
+			t.Fatalf("vector %d handed out twice", v)
+		}
+		got[v] = true
+	}
+	for _, v := range freed {
+		if !got[v] {
+			t.Fatalf("freed vector %d never reused", v)
+		}
+	}
+	if _, err := a.Alloc("z"); err == nil {
+		t.Fatal("full again: should fail")
+	}
+}
+
+// TestLAPICPriorityClasses is the regression test for the raw-vector
+// comparison bug: x86 APIC priority is the 16-vector class (vector >> 4).
+// A pending vector in the same class as the in-service one must wait; a
+// higher-class vector preempts regardless of its position within the class.
+func TestLAPICPriorityClasses(t *testing.T) {
+	cases := []struct {
+		name        string
+		inService   Vector
+		pending     Vector
+		deliverable bool
+	}{
+		{"higher class preempts", 0x40, 0x80, true},
+		{"low position of higher class still preempts", 0x4f, 0x50, true},
+		{"same class, higher vector waits", 0x42, 0x4f, false},
+		{"same class, lower vector waits", 0x4f, 0x42, false},
+		{"lower class waits", 0x80, 0x40, false},
+		{"adjacent classes, one apart", 0x5f, 0x60, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := &LAPIC{}
+			l.Inject(tc.inService)
+			if v, ok := l.Ack(); !ok || v != tc.inService {
+				t.Fatalf("ack = %d, %v", v, ok)
+			}
+			l.Inject(tc.pending)
+			v, ok := l.Pending()
+			if ok != tc.deliverable {
+				t.Fatalf("Pending() deliverable = %v, want %v", ok, tc.deliverable)
+			}
+			if ok && v != tc.pending {
+				t.Fatalf("Pending() = %d, want %d", v, tc.pending)
+			}
+			// After EOI of the in-service vector the pending one must
+			// always become deliverable.
+			if next, ok := l.EOI(); !ok || next != tc.pending {
+				t.Fatalf("after EOI: next = %d, %v", next, ok)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -35,12 +36,22 @@ type Batch struct {
 	VLAN  uint16 // 0 = untagged
 	Count int
 	Bytes units.Size
+
+	// SentAt is the TX doorbell time: when the sender handed the batch to
+	// the NIC. The port's entry points stamp it if the source did not, and
+	// the observability layer measures per-hop latency from it. Zero means
+	// unstamped.
+	SentAt units.Time
 }
 
-// arrivalRec is one accepted batch's bookkeeping for latency accounting.
+// arrivalRec is one accepted batch's bookkeeping for latency accounting:
+// the doorbell stamp, the ring-insert (DMA complete) time, and — once the
+// queue interrupts — the fire time, so Drain can attribute each hop.
 type arrivalRec struct {
-	count int
-	when  units.Time
+	count  int
+	when   units.Time // DMA complete (ring insert)
+	sentAt units.Time // TX doorbell; zero if the batch was unstamped
+	intrAt units.Time // interrupt fire; zero until the queue fires
 }
 
 // QueueStats are the per-queue counters.
@@ -105,7 +116,28 @@ type Queue struct {
 	// the batch's destination, which the ring does not preserve.
 	DirectDeliver func(Batch)
 
+	// Per-hop latency tracks, created lazily on first delivery so only
+	// queues that see traffic register instruments. track is the per-queue
+	// view ("path.<queue>.*"); vmTrack, installed by the VF driver, is the
+	// per-VM view ("path.vm.<domain>.*"). Both are nil-safe.
+	track   *obs.PathTrack
+	vmTrack *obs.PathTrack
+	// intrFired is the "nic.<queue>.intr_fired" counter.
+	intrFired *obs.Counter
+
 	Stats QueueStats
+}
+
+// SetVMTrack attributes this queue's hop latencies to a per-VM track in
+// addition to the per-queue one (the VF driver installs it at attach).
+func (q *Queue) SetVMTrack(t *obs.PathTrack) { q.vmTrack = t }
+
+// ensureObs lazily registers the queue's instruments once traffic arrives.
+func (q *Queue) ensureObs() {
+	if q.track == nil && q.port.Obs != nil {
+		q.track = obs.NewPathTrack(q.port.Obs, "path."+q.name)
+		q.intrFired = q.port.Obs.Counter("nic." + q.name + ".intr_fired")
+	}
 }
 
 // Name reports the queue name.
@@ -227,6 +259,12 @@ func (q *Queue) deliver(b Batch) {
 	if q.DirectDeliver != nil {
 		q.Stats.RxPackets += int64(b.Count)
 		q.Stats.RxBytes += b.Bytes
+		if b.SentAt > 0 {
+			q.ensureObs()
+			d := q.port.eng.Now().Sub(b.SentAt)
+			q.track.ObserveDoorbellToDMA(d, int64(b.Count))
+			q.vmTrack.ObserveDoorbellToDMA(d, int64(b.Count))
+		}
 		q.DirectDeliver(b)
 		return
 	}
@@ -238,11 +276,18 @@ func (q *Queue) deliver(b Batch) {
 	}
 	if accept > 0 {
 		perPkt := b.Bytes / units.Size(b.Count)
+		now := q.port.eng.Now()
 		q.occupied += accept
 		q.occBytes += perPkt * units.Size(accept)
 		q.Stats.RxPackets += int64(accept)
 		q.Stats.RxBytes += perPkt * units.Size(accept)
-		q.arrivals = append(q.arrivals, arrivalRec{count: accept, when: q.port.eng.Now()})
+		q.arrivals = append(q.arrivals, arrivalRec{count: accept, when: now, sentAt: b.SentAt})
+		q.ensureObs()
+		if b.SentAt > 0 {
+			d := now.Sub(b.SentAt)
+			q.track.ObserveDoorbellToDMA(d, int64(accept))
+			q.vmTrack.ObserveDoorbellToDMA(d, int64(accept))
+		}
 	}
 	q.maybeInterrupt()
 }
@@ -273,9 +318,23 @@ func (q *Queue) Drain(max int) (int, units.Size) {
 			take = remaining
 		}
 		waitSum += int64(take) * int64(now.Sub(rec.when))
+		if rec.intrAt != 0 {
+			d := now.Sub(rec.intrAt)
+			q.track.ObserveIntrToDrain(d, int64(take))
+			q.vmTrack.ObserveIntrToDrain(d, int64(take))
+		}
 		rec.count -= take
 		remaining -= take
 		if rec.count == 0 {
+			// Fully consumed: emit this batch's journey as display spans
+			// for the trace exporter, one per hop.
+			if sp := q.port.Spans; sp != nil && rec.intrAt != 0 {
+				if rec.sentAt > 0 {
+					sp.Add(q.name, "doorbell→dma", rec.sentAt, rec.when.Sub(rec.sentAt))
+				}
+				sp.Add(q.name, "dma→intr", rec.when, rec.intrAt.Sub(rec.when))
+				sp.Add(q.name, "intr→drain", rec.intrAt, now.Sub(rec.intrAt))
+			}
 			q.arrivals = q.arrivals[1:]
 		}
 	}
@@ -309,6 +368,25 @@ func (q *Queue) maybeInterrupt() {
 
 func (q *Queue) fire(now units.Time) {
 	q.Stats.Interrupts++
+	q.intrFired.Inc()
+	// Stamp the pending arrivals this interrupt covers and record the
+	// ring-wait hops. dma→intr carries the EITR throttle wait — the latency
+	// side of the §5.3 coalescing trade-off.
+	for i := range q.arrivals {
+		rec := &q.arrivals[i]
+		if rec.intrAt != 0 {
+			continue
+		}
+		rec.intrAt = now
+		n := int64(rec.count)
+		q.track.ObserveDMAToIntr(now.Sub(rec.when), n)
+		q.vmTrack.ObserveDMAToIntr(now.Sub(rec.when), n)
+		if rec.sentAt > 0 {
+			q.track.ObserveDoorbellToIntr(now.Sub(rec.sentAt), n)
+			q.vmTrack.ObserveDoorbellToIntr(now.Sub(rec.sentAt), n)
+		}
+	}
+	q.port.Tracer.Emit(now, "nic", "intr", q.name)
 	q.throttledUntil = now.Add(q.itrInterval)
 	q.Sink(q)
 }
@@ -326,6 +404,14 @@ type Port struct {
 	// Tracer, when set, receives link/stall/FLR/mailbox fault events.
 	// Nil-safe: trace.Buffer methods accept a nil receiver.
 	Tracer *trace.Buffer
+
+	// Obs, when set, receives the port's metrics: per-queue interrupt
+	// counters, mailbox counters and per-hop latency histograms. Nil
+	// disables metric collection (nil instruments are no-ops).
+	Obs *obs.Registry
+
+	// Spans, when set, collects per-batch hop spans for the trace exporter.
+	Spans *obs.SpanBuffer
 
 	dev *pcie.Device
 	pf  *pcie.Function
@@ -551,6 +637,9 @@ func (p *Port) ReceiveFromWire(b Batch) {
 	}
 	ttime := units.TransferTime(b.Bytes, p.rate)
 	now := p.eng.Now()
+	if b.SentAt == 0 {
+		b.SentAt = now
+	}
 	start := now
 	if p.wireBusyUntil > start {
 		start = p.wireBusyUntil
@@ -586,6 +675,9 @@ func (p *Port) SendInternal(src *Queue, b Batch) (units.Time, bool) {
 	src.Stats.TxPackets += int64(b.Count)
 	src.Stats.TxBytes += b.Bytes
 	now := p.eng.Now()
+	if b.SentAt == 0 {
+		b.SentAt = now
+	}
 	start := now
 	if p.internalBusyUntil > start {
 		start = p.internalBusyUntil
@@ -610,6 +702,9 @@ func (p *Port) TransmitToWire(src *Queue, b Batch) bool {
 		return false
 	}
 	now := p.eng.Now()
+	if b.SentAt == 0 {
+		b.SentAt = now
+	}
 	start := now
 	if p.wireTxBusyUntil > start {
 		start = p.wireTxBusyUntil

@@ -71,6 +71,20 @@ func (f *Figure) AddSeries(name, unit string) *Series {
 	return s
 }
 
+// AddLatencyPercentiles creates the conventional p50/p95/p99 microsecond
+// series for one latency metric ("<prefix>-p50" …) and returns a function
+// that appends one labeled point to all three at once.
+func (f *Figure) AddLatencyPercentiles(prefix string) func(label string, p50, p95, p99 float64) {
+	s50 := f.AddSeries(prefix+"-p50", "µs")
+	s95 := f.AddSeries(prefix+"-p95", "µs")
+	s99 := f.AddSeries(prefix+"-p99", "µs")
+	return func(label string, p50, p95, p99 float64) {
+		s50.Add(label, p50)
+		s95.Add(label, p95)
+		s99.Add(label, p99)
+	}
+}
+
 // FindSeries returns the series with the given name, or nil.
 func (f *Figure) FindSeries(name string) *Series {
 	for _, s := range f.Series {

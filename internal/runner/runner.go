@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -64,6 +65,11 @@ type Summary struct {
 	// (from the engine's process-wide counter; runs sharing a process with
 	// other simulation work will overcount).
 	Events uint64
+	// Obs is the run's merged metrics registry: every point task runs with
+	// its own private registry, and they are merged in task order after the
+	// pool drains, so the merged contents are byte-identical at any
+	// parallelism. Whole (non-decomposed) experiments do not contribute.
+	Obs *obs.Registry
 }
 
 // Failed lists the results that errored or whose shape checks failed.
@@ -79,6 +85,7 @@ func (s *Summary) Failed() []Result {
 
 // task is one unit of scheduling.
 type task struct {
+	idx   int // index into the task list (and taskRegs)
 	spec  int // index into specs
 	point int // index into Points, or -1 for a whole experiment
 }
@@ -99,13 +106,14 @@ func Run(specs []experiments.Spec, opts Options) *Summary {
 		if s.Parallelizable() {
 			pointRes[i] = make([]any, len(s.Points))
 			for j := range s.Points {
-				tasks = append(tasks, task{spec: i, point: j})
+				tasks = append(tasks, task{idx: len(tasks), spec: i, point: j})
 			}
 		} else {
-			tasks = append(tasks, task{spec: i, point: -1})
+			tasks = append(tasks, task{idx: len(tasks), spec: i, point: -1})
 		}
 	}
 	sum.Tasks = len(tasks)
+	taskRegs := make([]*obs.Registry, len(tasks))
 
 	start := time.Now()
 	eventsBefore := sim.TotalProcessed()
@@ -121,7 +129,7 @@ func Run(specs []experiments.Spec, opts Options) *Summary {
 		go func() {
 			defer wg.Done()
 			for t := range ch {
-				runTask(specs, t, pointRes, sum, &mu, opts.Progress)
+				runTask(specs, t, pointRes, taskRegs, sum, &mu, opts.Progress)
 			}
 		}()
 	}
@@ -130,6 +138,14 @@ func Run(specs []experiments.Spec, opts Options) *Summary {
 	}
 	close(ch)
 	wg.Wait()
+
+	// Merge the per-task registries in task order — counters and histogram
+	// buckets are sums, but gauge overwrites and float arithmetic are
+	// order-sensitive, so a fixed order keeps metrics output deterministic.
+	sum.Obs = obs.NewRegistry()
+	for _, reg := range taskRegs {
+		sum.Obs.Merge(reg)
+	}
 
 	// Assemble decomposed figures in input order, on this goroutine.
 	for i, s := range specs {
@@ -179,7 +195,7 @@ func RunIDs(ids []string, opts Options) (*Summary, error) {
 // runTask executes one task with panic isolation: a panicking point marks
 // its experiment failed but never takes down the pool or the other
 // experiments.
-func runTask(specs []experiments.Spec, t task, pointRes [][]any, sum *Summary, mu *sync.Mutex, progress func(string)) {
+func runTask(specs []experiments.Spec, t task, pointRes [][]any, taskRegs []*obs.Registry, sum *Summary, mu *sync.Mutex, progress func(string)) {
 	s := specs[t.spec]
 	label := s.ID
 	if t.point >= 0 {
@@ -212,5 +228,9 @@ func runTask(specs []experiments.Spec, t task, pointRes [][]any, sum *Summary, m
 		return
 	}
 	p := s.Points[t.point]
-	pointRes[t.spec][t.point] = p.Run(experiments.PointSeed(s.ID, p.Label))
+	// The point gets a private registry (slot has one writer; the
+	// WaitGroup orders the merge's reads).
+	reg := obs.NewRegistry()
+	taskRegs[t.idx] = reg
+	pointRes[t.spec][t.point] = p.Run(experiments.PointSeed(s.ID, p.Label), reg)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -111,8 +112,8 @@ func TestPanicIsolation(t *testing.T) {
 		{
 			ID: "boom", Title: "panics",
 			Points: []experiments.Point{
-				{Label: "a", Run: func(uint64) any { return 1 }},
-				{Label: "b", Run: func(uint64) any { panic("kaboom") }},
+				{Label: "a", Run: func(uint64, *obs.Registry) any { return 1 }},
+				{Label: "b", Run: func(uint64, *obs.Registry) any { panic("kaboom") }},
 			},
 			Build: func([]any) *report.Figure { return &report.Figure{ID: "boom"} },
 		},

@@ -80,9 +80,11 @@ func (b *Buffer) Emit(at units.Time, category, name, detail string) {
 	b.total++
 }
 
-// Emitf records an event with a formatted detail string. Safe on nil.
+// Emitf records an event with a formatted detail string. Safe on nil. The
+// category filter is consulted before formatting, so a filtered-out Emitf
+// never pays the Sprintf — the same "costs one branch" contract as Emit.
 func (b *Buffer) Emitf(at units.Time, category, name, format string, args ...any) {
-	if b == nil {
+	if b == nil || (b.filter != nil && !b.filter[category]) {
 		return
 	}
 	b.Emit(at, category, name, fmt.Sprintf(format, args...))

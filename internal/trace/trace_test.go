@@ -98,3 +98,79 @@ func TestBadCapacityPanics(t *testing.T) {
 	}()
 	NewBuffer(0)
 }
+
+// TestRingWrapWithFilter covers the wraparound × Filter interaction: events
+// recorded before a filter is installed must survive (in Events() order)
+// until overwritten, and Total must count only recorded (post-filter)
+// events.
+func TestRingWrapWithFilter(t *testing.T) {
+	b := NewBuffer(4)
+	b.Emit(1, "early", "e1", "")
+	b.Emit(2, "early", "e2", "")
+	b.Filter("keep")
+	// Filtered-out categories neither occupy the ring nor count.
+	b.Emit(3, "drop", "d1", "")
+	b.Emitf(4, "drop", "d2", "x=%d", 1)
+	b.Emit(5, "keep", "k1", "")
+	b.Emit(6, "keep", "k2", "")
+	ev := b.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d, events %v", len(ev), ev)
+	}
+	for i, want := range []string{"e1", "e2", "k1", "k2"} {
+		if ev[i].Name != want {
+			t.Fatalf("order: got %v", ev)
+		}
+	}
+	if b.Total() != 4 {
+		t.Fatalf("total = %d, want 4 (filtered events must not count)", b.Total())
+	}
+	// One more recorded event wraps the ring: the oldest pre-filter event
+	// is overwritten, the remaining pre-filter event survives in order.
+	b.Emit(7, "keep", "k3", "")
+	ev = b.Events()
+	if len(ev) != 4 || ev[0].Name != "e2" || ev[3].Name != "k3" {
+		t.Fatalf("after wrap: %v", ev)
+	}
+	if b.Total() != 5 {
+		t.Fatalf("total = %d (overwritten events still count)", b.Total())
+	}
+}
+
+// TestEmitfFilteredZeroAllocs is the regression test for the eager-Sprintf
+// bug: a filtered-out Emitf must not pay the formatting allocation. Before
+// the fix, Sprintf ran unconditionally and allocated its result string.
+func TestEmitfFilteredZeroAllocs(t *testing.T) {
+	b := NewBuffer(8).Filter("keep")
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Emitf(0, "dropped", "n", "no interpolation here")
+	})
+	if allocs != 0 {
+		t.Fatalf("filtered-out Emitf allocated %.0f times per call, want 0", allocs)
+	}
+	var nb *Buffer
+	allocs = testing.AllocsPerRun(100, func() {
+		nb.Emitf(0, "any", "n", "no interpolation here")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-buffer Emitf allocated %.0f times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkEmitfFilteredOut shows the filtered-out fast path: 0 allocs/op.
+func BenchmarkEmitfFilteredOut(b *testing.B) {
+	buf := NewBuffer(8).Filter("keep")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Emitf(0, "dropped", "n", "no interpolation here")
+	}
+}
+
+// BenchmarkEmitfRecorded is the recorded path for comparison.
+func BenchmarkEmitfRecorded(b *testing.B) {
+	buf := NewBuffer(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Emitf(0, "keep", "n", "x=%d", i&255)
+	}
+}

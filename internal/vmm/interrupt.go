@@ -265,13 +265,7 @@ func (h *Hypervisor) GuestAPICAccess(d *Domain, n float64) {
 	}
 	c := units.Cycles(n * float64(model.OtherAPICAccessCycles))
 	h.ChargeXen(d, "apic", c)
-	rec := h.Exits[ExitAPICOther]
-	if rec == nil {
-		rec = &ExitRecord{}
-		h.Exits[ExitAPICOther] = rec
-	}
-	rec.Count += int64(n + 0.5)
-	rec.Cycles += c
+	h.recordExitN(ExitAPICOther, int64(n+0.5), c)
 }
 
 // GuestHypercall charges a PVM hypercall (grant ops, event ops).

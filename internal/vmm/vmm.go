@@ -21,6 +21,7 @@ import (
 	"repro/internal/iommu"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -216,6 +217,12 @@ type Hypervisor struct {
 	// hot-plug, migration pauses, interrupt bindings) for debugging.
 	// A nil tracer costs nothing.
 	Tracer *trace.Buffer
+
+	// Obs, when set, mirrors per-reason exit counts into named counters
+	// ("vmm.exits.<reason>") so the metrics pipeline sees them without
+	// reaching into Exits. exitCounters caches the instrument per reason.
+	Obs          *obs.Registry
+	exitCounters map[ExitReason]*obs.Counter
 }
 
 // New creates a Xen-flavoured hypervisor bound to the simulation engine,
@@ -439,6 +446,36 @@ func (h *Hypervisor) recordExitN(r ExitReason, n int64, c units.Cycles) {
 	}
 	rec.Count += n
 	rec.Cycles += c
+	if h.Obs != nil {
+		ctr := h.exitCounters[r]
+		if ctr == nil {
+			if h.exitCounters == nil {
+				h.exitCounters = make(map[ExitReason]*obs.Counter)
+			}
+			ctr = h.Obs.Counter("vmm.exits." + exitShort(r))
+			h.exitCounters[r] = ctr
+		}
+		ctr.Add(n)
+	}
+}
+
+// exitShort maps an exit reason to its metric-name segment.
+func exitShort(r ExitReason) string {
+	switch r {
+	case ExitExtInt:
+		return "extint"
+	case ExitAPICEOI:
+		return "eoi"
+	case ExitAPICOther:
+		return "apic_other"
+	case ExitMSIMask:
+		return "msi_mask"
+	case ExitIO:
+		return "io"
+	case ExitHypercall:
+		return "hypercall"
+	}
+	return string(r)
 }
 
 // ResetExitTrace clears the Fig. 7 trace.

@@ -226,19 +226,23 @@ func TestEOIChainsNextInterrupt(t *testing.T) {
 	var order []string
 	bindA, _ := b.hv.BindGuestMSI(g, "a", func() { order = append(order, "a") })
 	bindB, _ := b.hv.BindGuestMSI(g, "b", func() { order = append(order, "b") })
-	// Deliver A; while in service, B arrives (pends, lower priority than
-	// in-service? vectors ascend, so B > A and preempts).
+	// Deliver A; while in service, B arrives. A and B get consecutive
+	// vectors, so they share a 16-vector priority class: B pends until A's
+	// EOI rather than preempting.
 	bindA.PhysicalMSI()
 	bindB.PhysicalMSI()
-	if len(order) != 2 {
-		t.Fatalf("order = %v (B should preempt)", order)
+	if len(order) != 1 || order[0] != "a" {
+		t.Fatalf("order = %v (same-class B must pend, not preempt)", order)
 	}
-	// EOI clears B, then A is still in service; EOI again clears A.
+	// EOI clears A and chains the pending B into service.
 	b.hv.GuestEOI(g)
+	if len(order) != 2 || order[1] != "b" {
+		t.Fatalf("order = %v (EOI should deliver pending B)", order)
+	}
+	// EOI clears B; inject A again with nothing in service.
 	b.hv.GuestEOI(g)
-	// Now inject A while nothing in service, with B pending later.
 	bindA.PhysicalMSI()
-	if len(order) != 3 {
+	if len(order) != 3 || order[2] != "a" {
 		t.Fatalf("order = %v", order)
 	}
 }
