@@ -9,6 +9,8 @@
 //	sriovsim -all -profile out       # write out.cpu.pprof / out.heap.pprof
 //	sriovsim -fig 7 -trace-out trace.json    # Perfetto/chrome://tracing export
 //	sriovsim -fig 7 -metrics-out metrics.json  # dump the merged metrics registry
+//	sriovsim -hosts 4                # cluster scale-out sweep with 4 hosts
+//	sriovsim -hosts 4 -links 1000:5:256  # ...with explicit fabric link shape
 //	sriovsim -list                   # list available experiments
 //
 // Output is byte-identical at any -parallel value: experiments shard into
@@ -25,6 +27,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
@@ -47,6 +50,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON of a representative run to this file")
 	metricsOut := flag.String("metrics-out", "", "write the run's merged metrics registry as JSON to this file")
 	quiet := flag.Bool("q", false, "suppress per-task progress on stderr")
+	hosts := flag.Int("hosts", 0, "run a cluster scale-out sweep over this many hosts behind the ToR switch")
+	links := flag.String("links", "", "fabric link shape for -hosts as `rateMbps:latencyUs:queueKiB` (0 or empty fields keep defaults)")
 	flag.Parse()
 
 	switch {
@@ -58,25 +63,34 @@ func main() {
 			}
 			fmt.Printf("%-8s %-10s %s\n", s.ID, kind, s.Title)
 		}
+	case *hosts > 0:
+		link, err := parseLinks(*links)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		spec := sriov.ClusterScaleExperiment(*hosts, link)
+		os.Exit(runSuite(nil, []sriov.Experiment{spec}, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
 	case *all:
-		os.Exit(runSuite(nil, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
+		os.Exit(runSuite(nil, nil, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
 	case *fig != "":
 		id := *fig
 		if _, err := strconv.Atoi(id); err == nil {
 			id = fmt.Sprintf("fig%02s", id)
 		}
-		os.Exit(runSuite([]string{id}, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
+		os.Exit(runSuite([]string{id}, nil, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-// runSuite runs the named experiments (all when ids is nil) through the
-// worker-pool runner, prints each figure, and optionally emits profiles, a
-// BENCH.json record, a Perfetto trace, and a metrics dump. Returns the
-// process exit code.
-func runSuite(ids []string, parallel int, csv, quiet bool, benchOut, goBenchPath, profilePrefix, traceOut, metricsOut string) int {
+// runSuite runs the named experiments (all registered ones when both ids
+// and custom are nil, or the ad-hoc custom specs such as a -hosts cluster
+// sweep) through the worker-pool runner, prints each figure, and optionally
+// emits profiles, a BENCH.json record, a Perfetto trace, and a metrics
+// dump. Returns the process exit code.
+func runSuite(ids []string, custom []sriov.Experiment, parallel int, csv, quiet bool, benchOut, goBenchPath, profilePrefix, traceOut, metricsOut string) int {
 	stopCPU, err := startCPUProfile(profilePrefix)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -94,9 +108,12 @@ func runSuite(ids []string, parallel int, csv, quiet bool, benchOut, goBenchPath
 	packetsBefore := workload.TotalPackets()
 
 	var sum *runner.Summary
-	if ids == nil {
+	switch {
+	case custom != nil:
+		sum = runner.Run(custom, opts)
+	case ids == nil:
 		sum = runner.RunAll(opts)
-	} else {
+	default:
 		sum, err = runner.RunIDs(ids, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -214,6 +231,35 @@ func writeTrace(path string, ids []string) error {
 		return obs.WriteChromeTrace(f, tr.Events(), spans.Spans())
 	}
 	return fmt.Errorf("trace-out: no selected experiment has an observe hook (try -fig 7)")
+}
+
+// parseLinks decodes the -links value "rateMbps:latencyUs:queueKiB".
+// Trailing fields may be omitted; empty or zero fields keep the model's
+// defaults (1 GbE, 5 µs, 256 KiB).
+func parseLinks(s string) (sriov.LinkConfig, error) {
+	var lc sriov.LinkConfig
+	if s == "" {
+		return lc, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) > 3 {
+		return lc, fmt.Errorf("-links: want rateMbps:latencyUs:queueKiB, got %q", s)
+	}
+	vals := make([]int64, 3)
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || v < 0 {
+			return lc, fmt.Errorf("-links: bad field %q in %q", p, s)
+		}
+		vals[i] = v
+	}
+	lc.Rate = sriov.BitRate(vals[0]) * sriov.Mbps
+	lc.Latency = sriov.Duration(vals[1]) * (sriov.Millisecond / 1000)
+	lc.QueueCap = sriov.Size(vals[2]) * 1024
+	return lc, nil
 }
 
 func mergeGoBench(path string) ([]bench.GoBenchResult, error) {

@@ -66,6 +66,11 @@ type Totals struct {
 	IntrFired      int64 `json:"intr_fired"`
 	VMExits        int64 `json:"vm_exits"`
 	MailboxRetries int64 `json:"mailbox_retries"`
+	// FabricDrops sums the cluster fabric's tail drops; MigrationDowntimeUs
+	// the inter-host migrations' downtime (µs) — both from the cluster
+	// experiment family.
+	FabricDrops         int64 `json:"fabric_drops"`
+	MigrationDowntimeUs int64 `json:"migration_downtime_us"`
 }
 
 // File is the canonical BENCH.json document.
@@ -105,17 +110,19 @@ func Collect(sum *runner.Summary, packets int64, allocBytes, mallocs uint64) *Fi
 
 	secs := sum.Wall.Seconds()
 	f.Totals = Totals{
-		WallNS:          sum.Wall.Nanoseconds(),
-		Tasks:           sum.Tasks,
-		TaskWallMeanSec: sum.TaskWall.Mean(),
-		TaskWallMaxSec:  sum.TaskWall.Max(),
-		SimEvents:       sum.Events,
-		Packets:         packets,
-		AllocBytes:      allocBytes,
-		Mallocs:         mallocs,
-		IntrFired:       sum.Obs.SumCounters("nic.", ".intr_fired"),
-		VMExits:         sum.Obs.SumCounters("vmm.exits.", ""),
-		MailboxRetries:  sum.Obs.Counter("mailbox.retries").Value(),
+		WallNS:              sum.Wall.Nanoseconds(),
+		Tasks:               sum.Tasks,
+		TaskWallMeanSec:     sum.TaskWall.Mean(),
+		TaskWallMaxSec:      sum.TaskWall.Max(),
+		SimEvents:           sum.Events,
+		Packets:             packets,
+		AllocBytes:          allocBytes,
+		Mallocs:             mallocs,
+		IntrFired:           sum.Obs.SumCounters("nic.", ".intr_fired"),
+		VMExits:             sum.Obs.SumCounters("vmm.exits.", ""),
+		MailboxRetries:      sum.Obs.Counter("mailbox.retries").Value(),
+		FabricDrops:         sum.Obs.SumCounters("cluster.link.", ".dropped_pkts"),
+		MigrationDowntimeUs: sum.Obs.Counter("cluster.migration.downtime_us").Value(),
 	}
 	if secs > 0 {
 		f.Totals.EventsPerSec = float64(sum.Events) / secs

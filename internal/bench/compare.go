@@ -163,6 +163,8 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 		{"intr_fired", base.Totals.IntrFired, cur.Totals.IntrFired},
 		{"vm_exits", base.Totals.VMExits, cur.Totals.VMExits},
 		{"mailbox_retries", base.Totals.MailboxRetries, cur.Totals.MailboxRetries},
+		{"fabric_drops", base.Totals.FabricDrops, cur.Totals.FabricDrops},
+		{"migration_downtime_us", base.Totals.MigrationDowntimeUs, cur.Totals.MigrationDowntimeUs},
 	}
 	for _, t := range obsTotals {
 		if t.base == 0 {

@@ -32,7 +32,18 @@ type Config struct {
 	Ports      int // SR-IOV ports (default 10, the paper's aggregate 10 GbE)
 	VFsPerPort int // default 7 (Fig. 11)
 	PortRate   units.BitRate
-	Opts       vmm.Optimizations
+	// Eng, when set, is the event engine the testbed runs on instead of
+	// creating its own — how a cluster puts N hosts on one clock (Seed is
+	// then ignored). Single-host testbeds leave it nil.
+	Eng *sim.Engine
+	// Name, when set, prefixes port names ("h0:eth0") so instrument names
+	// from different hosts sharing one obs registry never collide.
+	Name string
+	// HostID offsets the testbed's MAC allocator so guests on different
+	// hosts of a cluster get distinct addresses. Zero keeps the historical
+	// base (fine for a single host).
+	HostID int
+	Opts   vmm.Optimizations
 	// Flavor selects the VMM personality (Xen default; KVM per the §4
 	// portability claim — identical drivers, no PVM guests).
 	Flavor vmm.Flavor
@@ -118,7 +129,10 @@ type Guest struct {
 // NewTestbed builds the server.
 func NewTestbed(cfg Config) *Testbed {
 	cfg.fill()
-	eng := sim.NewEngine(cfg.Seed)
+	eng := cfg.Eng
+	if eng == nil {
+		eng = sim.NewEngine(cfg.Seed)
+	}
 	meter := cpu.NewMeter(cpu.System{Threads: model.ServerThreads, Freq: model.ServerFreq})
 	fabric := pcie.NewFabric()
 	mmu := iommu.New(4096)
@@ -131,7 +145,13 @@ func NewTestbed(cfg Config) *Testbed {
 		cfg: cfg, Eng: eng, Meter: meter, Fabric: fabric, IOMMU: mmu, HV: hv,
 		Obs:     cfg.Obs,
 		Machine: mem.NewMachine(model.ServerMemory),
-		nextMAC: 0x02_00_00_00_00_01,
+		nextMAC: 0x02_00_00_00_00_01 | uint64(cfg.HostID)<<24,
+	}
+	portName := func(i int) string {
+		if cfg.Name != "" {
+			return fmt.Sprintf("%s:eth%d", cfg.Name, i)
+		}
+		return fmt.Sprintf("eth%d", i)
 	}
 
 	// The paper's NICs: two 4-port and one 2-port 82576 cards. Build one
@@ -148,7 +168,7 @@ func NewTestbed(cfg Config) *Testbed {
 		fabric.AddSwitch(rp, sw)
 		for i := 0; i < n; i++ {
 			p := nic.New(eng, nic.Config{
-				Name:   fmt.Sprintf("eth%d", portIdx),
+				Name:   portName(portIdx),
 				NumVFs: cfg.VFsPerPort,
 				Rate:   cfg.PortRate,
 			})
@@ -407,13 +427,28 @@ type Utilization struct {
 // for the window. Sources must already be running.
 func (tb *Testbed) Measure(warmup, window units.Duration) (Utilization, map[*Guest]workload.Result) {
 	tb.Eng.RunUntil(tb.Eng.Now().Add(warmup))
+	wins := tb.BeginMeasure()
+	end := tb.Eng.RunUntil(tb.Eng.Now().Add(window))
+	return tb.EndMeasure(wins, window, end)
+}
+
+// BeginMeasure opens a measurement window at the current time: it resets
+// the CPU meter and starts a goodput window per guest. The caller advances
+// the engine (possibly shared with other testbeds) and closes with
+// EndMeasure — the split a cluster needs to measure N hosts over one run.
+func (tb *Testbed) BeginMeasure() map[*Guest]workload.Window {
 	tb.Meter.ResetWindow(tb.Eng.Now())
 	wins := make(map[*Guest]workload.Window, len(tb.guests))
 	for _, g := range tb.guests {
 		wins[g] = workload.StartWindow(tb.Eng.Now(), g.Recv)
 	}
-	end := tb.Eng.RunUntil(tb.Eng.Now().Add(window))
+	return wins
+}
 
+// EndMeasure charges the window's analytic baselines and reports CPU and
+// per-guest goodput for a window opened by BeginMeasure. end is the
+// engine time the window closed at (the RunUntil return).
+func (tb *Testbed) EndMeasure(wins map[*Guest]workload.Window, window units.Duration, end units.Time) (Utilization, map[*Guest]workload.Result) {
 	// Analytic baselines for the window.
 	for _, d := range tb.HV.Domains() {
 		if d.Type == vmm.HVM || d.Type == vmm.PVM || d.Type == vmm.Native {

@@ -423,7 +423,7 @@ func (d *VFDriver) Transmit(sender *guest.NetSender, dst nic.MAC, msgSize, frame
 	if pkts == 0 {
 		return 0, 0
 	}
-	b := nic.Batch{Dst: dst, Count: pkts, Bytes: msgSize}
+	b := nic.Batch{Dst: dst, Src: d.mac, Count: pkts, Bytes: msgSize}
 	if _, ok := d.port.SendInternal(d.queue, b); !ok {
 		return 0, 0
 	}
@@ -441,7 +441,7 @@ func (d *VFDriver) TransmitExternal(sender *guest.NetSender, dst nic.MAC, msgSiz
 	if pkts == 0 {
 		return 0, 0
 	}
-	if !d.port.TransmitToWire(d.queue, nic.Batch{Dst: dst, Count: pkts, Bytes: msgSize}) {
+	if !d.port.TransmitToWire(d.queue, nic.Batch{Dst: dst, Src: d.mac, Count: pkts, Bytes: msgSize}) {
 		return 0, d.port.TxBacklog()
 	}
 	return pkts, d.port.TxBacklog()

@@ -97,7 +97,7 @@ func setObserve(id string, fn func(tr *trace.Buffer, spans *obs.SpanBuffer)) {
 	registry[id] = s
 }
 
-// ByID looks an experiment up ("fig06" ... "fig21").
+// ByID looks an experiment up ("fig06" ... "fig23").
 func ByID(id string) (Spec, bool) {
 	s, ok := registry[id]
 	return s, ok

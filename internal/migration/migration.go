@@ -31,8 +31,17 @@ type Result struct {
 	// SwitchOutage is the DNIS interface-switch loss window (zero for a
 	// plain PV migration).
 	SwitchOutage units.Duration
+	// HotAddDone is when the DNIS hot add-on completed — the target-side
+	// VF is active in the bond. It lands after DowntimeEnd (service is
+	// already restored on the PV path by then) and is zero for plain PV
+	// migrations.
+	HotAddDone units.Time
 	// PagesSent is the total page traffic.
 	PagesSent uint64
+	// Err is set when the migration aborted (the inter-host channel gave
+	// up). The guest is left running at the source; downtime fields
+	// beyond the abort point stay zero.
+	Err error
 }
 
 // Downtime reports the stop-and-copy outage.
@@ -40,6 +49,19 @@ func (r *Result) Downtime() units.Duration { return r.DowntimeEnd.Sub(r.Downtime
 
 // TotalDuration reports start → service restore.
 func (r *Result) TotalDuration() units.Duration { return r.DowntimeEnd.Sub(r.Start) }
+
+// VFHotAddLatency reports how long after service restore the target-side
+// VF came up — the DNIS hot add-on cost, separate from SwitchOutage (which
+// is paid at the source before pre-copy). Zero when no VF was re-added.
+func (r *Result) VFHotAddLatency() units.Duration {
+	if r.HotAddDone == 0 {
+		return 0
+	}
+	return r.HotAddDone.Sub(r.DowntimeEnd)
+}
+
+// Failed reports whether the migration aborted.
+func (r *Result) Failed() bool { return r.Err != nil }
 
 // Config parameterizes a migration.
 type Config struct {
@@ -59,6 +81,17 @@ func DefaultConfig() Config {
 		DirtyPerSecond: model.DirtyPagesPerSecond,
 		WorkingSet:     model.WorkingSetPages,
 	}
+}
+
+// Channel moves migration state to the target host. The analytic default
+// (nil channel) models a dedicated management link at Config.LinkRate; the
+// cluster fabric provides a real channel whose chunks contend with
+// foreground traffic on the shared links.
+type Channel interface {
+	// Send moves size bytes toward the target, calling done exactly once:
+	// nil on delivery, non-nil when the channel gave up (the migration
+	// aborts cleanly).
+	Send(size units.Size, done func(err error))
 }
 
 // Manager runs migrations on one hypervisor.
@@ -117,32 +150,72 @@ func (m *Manager) MigratePV(d *vmm.Domain, onDone func(*Result)) error {
 	}
 	res := &Result{Start: m.hv.Engine().Now()}
 	dirt := m.startDirtier(d)
-	m.precopy(d, dirt, d.Memory.Pages(), 0, res, onDone)
+	m.precopy(d, dirt, nil, d.Memory.Pages(), 0, res, func() {
+		// Service restore for a software-only guest: unpause at the
+		// "target" — the analytic channel has no real second machine.
+		m.hv.SetPaused(d, false)
+		res.DowntimeEnd = m.hv.Engine().Now()
+		if onDone != nil {
+			onDone(res)
+		}
+	}, m.aborter(d, dirt, res, onDone))
 	return nil
 }
 
-func (m *Manager) transferTime(pages uint64) units.Duration {
-	return units.TransferTime(units.Size(pages)*mem.PageSize, m.cfg.LinkRate)
+// send moves pages of state through ch, or over the analytic management
+// link when ch is nil.
+func (m *Manager) send(ch Channel, pages uint64, done func(err error)) {
+	size := units.Size(pages) * mem.PageSize
+	if ch != nil {
+		ch.Send(size, done)
+		return
+	}
+	dur := units.TransferTime(size, m.cfg.LinkRate)
+	m.hv.Engine().After(dur, "migration:xfer", func() { done(nil) })
+}
+
+// aborter builds the clean-failure path: stop dirty tracking, leave (or
+// put back) the guest running at the source, record the error, and still
+// deliver the result so callers never hang on a dead channel.
+func (m *Manager) aborter(d *vmm.Domain, dirt *dirtier, res *Result, onDone func(*Result)) func(error) {
+	return func(err error) {
+		dirt.tick.Stop()
+		d.Memory.StopDirtyTracking()
+		if d.Paused() {
+			m.hv.SetPaused(d, false)
+		}
+		res.Err = err
+		if onDone != nil {
+			onDone(res)
+		}
+	}
 }
 
 // precopy runs one round: send `pages` now; whatever the guest dirties in
-// the meantime is the next round's payload.
-func (m *Manager) precopy(d *vmm.Domain, dirt *dirtier, pages uint64, round int, res *Result, onDone func(*Result)) {
-	dur := m.transferTime(pages)
+// the meantime is the next round's payload. When rounds converge (or the
+// cap is hit) it proceeds to stop-and-copy, whose service restore is the
+// caller-supplied restore hook — unpause-in-place for the analytic path, a
+// target-host domain restore for the inter-host path.
+func (m *Manager) precopy(d *vmm.Domain, dirt *dirtier, ch Channel, pages uint64, round int, res *Result, restore func(), abort func(error)) {
+	start := m.hv.Engine().Now()
 	m.hv.ChargeDom0("migration", units.Cycles(pages*model.MigrationPerPageDom0Cycles))
-	res.PrecopyRounds = append(res.PrecopyRounds, Round{Pages: pages, Duration: dur})
 	res.PagesSent += pages
-	m.hv.Engine().After(dur, "migration:round", func() {
-		dirty := d.Memory.HarvestDirty()
-		if dirty <= m.cfg.StopThreshold || round+1 >= m.cfg.MaxRounds {
-			m.stopAndCopy(d, dirt, dirty, res, onDone)
+	m.send(ch, pages, func(err error) {
+		res.PrecopyRounds = append(res.PrecopyRounds, Round{Pages: pages, Duration: m.hv.Engine().Now().Sub(start)})
+		if err != nil {
+			abort(err)
 			return
 		}
-		m.precopy(d, dirt, dirty, round+1, res, onDone)
+		dirty := d.Memory.HarvestDirty()
+		if dirty <= m.cfg.StopThreshold || round+1 >= m.cfg.MaxRounds {
+			m.stopAndCopy(d, dirt, ch, dirty, res, restore, abort)
+			return
+		}
+		m.precopy(d, dirt, ch, dirty, round+1, res, restore, abort)
 	})
 }
 
-func (m *Manager) stopAndCopy(d *vmm.Domain, dirt *dirtier, pages uint64, res *Result, onDone func(*Result)) {
+func (m *Manager) stopAndCopy(d *vmm.Domain, dirt *dirtier, ch Channel, pages uint64, res *Result, restore func(), abort func(error)) {
 	eng := m.hv.Engine()
 	res.DowntimeStart = eng.Now()
 	m.hv.SetPaused(d, true)
@@ -150,13 +223,12 @@ func (m *Manager) stopAndCopy(d *vmm.Domain, dirt *dirtier, pages uint64, res *R
 	d.Memory.StopDirtyTracking()
 	m.hv.ChargeDom0("migration", units.Cycles(pages*model.MigrationPerPageDom0Cycles))
 	res.PagesSent += pages
-	down := m.transferTime(pages) + model.StopAndCopyOverhead
-	eng.After(down, "migration:stopcopy", func() {
-		m.hv.SetPaused(d, false)
-		res.DowntimeEnd = eng.Now()
-		if onDone != nil {
-			onDone(res)
+	m.send(ch, pages, func(err error) {
+		if err != nil {
+			abort(err)
+			return
 		}
+		eng.After(model.StopAndCopyOverhead, "migration:stopcopy", restore)
 	})
 }
 
@@ -193,7 +265,9 @@ func (m *Manager) MigrateDNIS(d *vmm.Domain, bond *drivers.Bond, attachVF func()
 		// equipped with the VF hardware".
 		res := &Result{Start: start, SwitchOutage: model.DNISSwitchOutage}
 		dirt := m.startDirtier(d)
-		m.precopy(d, dirt, d.Memory.Pages(), 0, res, func(r *Result) {
+		m.precopy(d, dirt, nil, d.Memory.Pages(), 0, res, func() {
+			m.hv.SetPaused(d, false)
+			res.DowntimeEnd = m.hv.Engine().Now()
 			// Step 3: hot add-on at the target for post-migration
 			// performance.
 			m.hv.HotplugAdd(d, func() {
@@ -202,11 +276,78 @@ func (m *Manager) MigrateDNIS(d *vmm.Domain, bond *drivers.Bond, attachVF func()
 						bond.ActivateVF(newVF)
 					}
 				}
+				res.HotAddDone = m.hv.Engine().Now()
 				if onDone != nil {
-					onDone(r)
+					onDone(res)
 				}
 			})
-		})
+		}, m.aborter(d, dirt, res, onDone))
+	})
+	return nil
+}
+
+// TargetHooks are the target-host side of an inter-host DNIS migration.
+// Both hooks run on the shared cluster clock; the migration manager only
+// dictates when.
+type TargetHooks struct {
+	// Restore brings the guest up at the target on its paravirtual path
+	// (domain restore + PV networking + MAC re-announcement). Its return
+	// marks the end of downtime.
+	Restore func()
+	// HotAdd performs the DNIS hot add-on at the target — virtual
+	// hot-plug signalling plus VF driver attach — calling done when the
+	// new VF carries traffic.
+	HotAdd func(done func())
+}
+
+// MigrateDNISRemote is MigrateDNIS across hosts: the same hot-removal and
+// bond failover at the source, but pre-copy and stop-and-copy move through
+// ch (a real fabric path contending with foreground traffic), and service
+// is restored by the target's hooks rather than by unpausing in place. On
+// channel failure the migration aborts cleanly: the source guest keeps
+// running on its PV path and the result carries Err.
+func (m *Manager) MigrateDNISRemote(d *vmm.Domain, bond *drivers.Bond, ch Channel, tgt TargetHooks, onDone func(*Result)) error {
+	if d.Memory == nil {
+		return fmt.Errorf("migration: domain %s has no memory", d.Name)
+	}
+	if ch == nil {
+		return fmt.Errorf("migration: inter-host migration needs a channel")
+	}
+	if tgt.Restore == nil {
+		return fmt.Errorf("migration: inter-host migration needs a target restore hook")
+	}
+	vf := bond.VF()
+	if vf == nil || !vf.Attached() {
+		return fmt.Errorf("migration: bond has no active VF; use MigratePV")
+	}
+	fn := vf.Queue().Function()
+	start := m.hv.Engine().Now()
+	d.HotplugHandler = func(ev vmm.HotplugEvent) {
+		if !ev.Remove {
+			return
+		}
+		bond.FailoverToPV(model.DNISSwitchOutage)
+		bond.DetachVF()
+	}
+	m.hv.HotplugRemove(d, fn, func() {
+		m.hv.UnassignDevice(d, fn)
+		res := &Result{Start: start, SwitchOutage: model.DNISSwitchOutage}
+		dirt := m.startDirtier(d)
+		m.precopy(d, dirt, ch, d.Memory.Pages(), 0, res, func() {
+			// The source stays paused — the guest now runs at the target.
+			tgt.Restore()
+			res.DowntimeEnd = m.hv.Engine().Now()
+			hotAdd := tgt.HotAdd
+			if hotAdd == nil {
+				hotAdd = func(done func()) { done() }
+			}
+			hotAdd(func() {
+				res.HotAddDone = m.hv.Engine().Now()
+				if onDone != nil {
+					onDone(res)
+				}
+			})
+		}, m.aborter(d, dirt, res, onDone))
 	})
 	return nil
 }

@@ -183,6 +183,57 @@ func TestMigrateDNISFullCycle(t *testing.T) {
 	}
 }
 
+// Regression: the target-side VF hot add-on completes *after* the guest
+// resumes, and that interval must be reported on its own — it used to be
+// conflated with SwitchOutage, which only covers the datapath outage the
+// bond absorbs via its PV slave.
+func TestMigrateDNISHotAddLatencySeparateFromOutage(t *testing.T) {
+	r := newRig(t)
+	d, recv := r.guestWithMemory(t, "g1", vmm.HVM)
+	vf := r.attachVF(t, d, 0, nic.MAC(0xaa), recv)
+	nb := drivers.NewNetback(r.hv, 2)
+	nb.AttachWire(r.port.PFQueue())
+	pv, err := nb.CreateVif(d, nic.MAC(0xab), recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.pf.SetDom0MAC(nic.MAC(0xab))
+	bond := drivers.NewBond(r.hv, d, vf, pv, r.port)
+
+	m := NewManager(r.hv, DefaultConfig())
+	var res *Result
+	err = m.MigrateDNIS(d, bond, func() *drivers.VFDriver {
+		return r.attachVF(t, d, 1, nic.MAC(0xaa), recv)
+	}, func(rr *Result) { res = rr })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(units.Time(30 * units.Second))
+	if res == nil {
+		t.Fatal("migration never completed")
+	}
+	if res.Failed() {
+		t.Fatalf("unexpected failure: %v", res.Err)
+	}
+	// The hot add-on lands strictly after the resume...
+	if res.HotAddDone <= res.DowntimeEnd {
+		t.Fatalf("hot-add at %v, not after resume at %v", res.HotAddDone, res.DowntimeEnd)
+	}
+	// ...by exactly the hotplug event latency (the reattach itself is
+	// instantaneous in the model).
+	if got := res.VFHotAddLatency(); got != model.HotplugEventLatency {
+		t.Fatalf("VF hot-add latency = %v, want %v", got, model.HotplugEventLatency)
+	}
+	// And the two measures stay distinct: SwitchOutage is the configured
+	// datapath outage, untouched by hot-plug timing.
+	if res.SwitchOutage != model.DNISSwitchOutage {
+		t.Fatalf("switch outage = %v, want %v", res.SwitchOutage, model.DNISSwitchOutage)
+	}
+	if down := res.Downtime().Seconds(); down < 1.0 || down > 2.0 {
+		t.Fatalf("downtime = %.2fs", down)
+	}
+}
+
 func TestMigrateDNISRequiresActiveVF(t *testing.T) {
 	r := newRig(t)
 	d, recv := r.guestWithMemory(t, "g1", vmm.HVM)

@@ -426,6 +426,39 @@ const (
 	WatchdogResetBackoff = 500 * units.Millisecond
 )
 
+// ---- Cluster fabric (scale-out beyond the single testbed) ----
+
+const (
+	// ClusterLinkRate is the default host↔ToR uplink rate: the same 1 GbE
+	// class as the testbed's ports, so one host can saturate its uplink.
+	ClusterLinkRate = units.Gbps
+
+	// ClusterLinkLatency is the one-way propagation + switching latency of
+	// one fabric hop (host→switch or switch→host): intra-rack copper plus
+	// a store-and-forward ToR stage.
+	ClusterLinkLatency = 5 * units.Microsecond
+
+	// ClusterQueueCap bounds each switch egress queue (per downlink).
+	// 256 KiB ≈ 170 full-size frames — a shallow ToR buffer, so congestion
+	// shows up as tail drops rather than unbounded delay.
+	ClusterQueueCap = 256 * units.KiB
+
+	// MigrationChunk is the unit in which inter-host migration traffic is
+	// handed to the fabric: large enough to amortize per-batch overhead,
+	// small enough that foreground frames interleave on the links.
+	MigrationChunk = 64 * units.KiB
+
+	// MigrationChunkTimeout is the base wait for a chunk to be observed at
+	// the target before the source retransmits; retries back off
+	// exponentially (capped at 16× the base).
+	MigrationChunkTimeout = 25 * units.Millisecond
+
+	// MigrationChunkAttempts bounds per-chunk (re)transmissions before the
+	// migration aborts cleanly — about 3.5 s of cumulative waiting, enough
+	// to ride out a transient link flap but not a dead fabric.
+	MigrationChunkAttempts = 12
+)
+
 // ---- Residual dom0 overheads ----
 
 const (

@@ -30,9 +30,19 @@ func (m MAC) String() string {
 		byte(m>>40), byte(m>>32), byte(m>>24), byte(m>>16), byte(m>>8), byte(m))
 }
 
+// Broadcast is the all-ones destination MAC. The cluster fabric floods it
+// to every port; ports without a matching filter drop it like any other
+// unclassified frame.
+const Broadcast MAC = 0xffff_ffff_ffff
+
 // Batch is a group of same-destination frames moving together.
 type Batch struct {
-	Dst   MAC
+	Dst MAC
+	// Src identifies the transmitting interface. The single-host paths
+	// ignore it; the cluster fabric's ToR switch learns (Src → ingress
+	// port) from it. Zero means unknown — such frames are forwarded but
+	// never learned.
+	Src   MAC
 	VLAN  uint16 // 0 = untagged
 	Count int
 	Bytes units.Size

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -58,6 +59,41 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 	}
 	if s1.Tasks != s8.Tasks {
 		t.Fatalf("task counts differ: %d vs %d", s1.Tasks, s8.Tasks)
+	}
+}
+
+// TestClusterFiguresDeterministicAcrossParallelism pins the cluster
+// experiment family (multi-host fabric, inter-host migration) to the same
+// invariant at three parallelism levels, and additionally requires the
+// merged metrics registries — the source of the BENCH fabric/migration
+// totals — to serialize identically.
+func TestClusterFiguresDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("cluster figures are slow; covered unabridged in the full run")
+	}
+	ids := []string{"fig22", "fig23"}
+	var md, reg []string
+	for _, p := range []int{1, 4, 8} {
+		s, err := RunIDs(ids, Options{Parallel: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		md = append(md, suiteMarkdown(t, s))
+		var buf bytes.Buffer
+		if err := s.Obs.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		reg = append(reg, buf.String())
+	}
+	for i := 1; i < len(md); i++ {
+		if md[i] != md[0] {
+			t.Fatalf("cluster figures differ between -parallel 1 and -parallel %d:\n%s",
+				[]int{1, 4, 8}[i], firstDiffLine(md[0], md[i]))
+		}
+		if reg[i] != reg[0] {
+			t.Fatalf("merged cluster metrics differ between -parallel 1 and -parallel %d",
+				[]int{1, 4, 8}[i])
+		}
 	}
 }
 

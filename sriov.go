@@ -24,6 +24,7 @@ package sriov
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/drivers"
 	"repro/internal/experiments"
@@ -169,6 +170,37 @@ func NewMigrationManager(tb *Testbed, cfg MigrationConfig) *MigrationManager {
 // DefaultMigrationConfig returns the paper-calibrated migration parameters.
 func DefaultMigrationConfig() MigrationConfig { return migration.DefaultConfig() }
 
+// Cluster fabric: N testbeds behind a simulated top-of-rack switch, with
+// cross-host flows and inter-host DNIS live migration.
+type (
+	// ClusterConfig parameterizes a Cluster.
+	ClusterConfig = cluster.Config
+	// Cluster is N hosts behind one ToR switch on a shared clock.
+	Cluster = cluster.Cluster
+	// ClusterHost is one server of a cluster: a Testbed plus its fabric
+	// attachment.
+	ClusterHost = cluster.Host
+	// LinkConfig shapes one fabric link (rate, latency, queue bound).
+	LinkConfig = cluster.LinkConfig
+	// ClusterFlow is one cross-host netperf-style stream.
+	ClusterFlow = cluster.Flow
+	// ClusterMigrationSpec describes one inter-host DNIS migration.
+	ClusterMigrationSpec = cluster.MigrationSpec
+	// ClusterMigration tracks an in-flight or finished inter-host migration.
+	ClusterMigration = cluster.Migration
+	// HostMeasure is one host's share of a cluster measurement.
+	HostMeasure = cluster.HostMeasure
+)
+
+// NewCluster assembles hosts behind a ToR switch on one event clock.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// ClusterScaleExperiment builds a fig22-style scale-out sweep for a custom
+// host count and link shape — what `sriovsim -hosts/-links` runs.
+func ClusterScaleExperiment(hosts int, link LinkConfig) Experiment {
+	return experiments.ClusterScaleSpec(hosts, link)
+}
+
 // Fault injection: deterministic robustness scenarios against the testbed.
 type (
 	// FaultInjector schedules faults as ordinary simulation events.
@@ -218,11 +250,11 @@ type (
 // Experiments lists every reproduced figure, sorted by id.
 func Experiments() []Experiment { return experiments.All() }
 
-// RunExperiment reproduces one figure by id ("fig06" ... "fig21", "faults").
+// RunExperiment reproduces one figure by id ("fig06" ... "fig23", "faults").
 func RunExperiment(id string) (*Figure, error) {
 	s, ok := experiments.ByID(id)
 	if !ok {
-		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig21 or faults)", id)
+		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig23 or faults)", id)
 	}
 	return s.Run(), nil
 }
