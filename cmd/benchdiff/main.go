@@ -4,15 +4,18 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 25] [-metric-threshold 0.1] [-warn-only] [-wall-warn-only] base.json new.json
+//	benchdiff [-threshold 25] [-metric-threshold 0.1] [-alloc-threshold 10]
+//	          [-warn-only] [-wall-warn-only] [-alloc-warn-only] base.json new.json
 //
 // Wall-clock figures (per-experiment wall, events/sec, go-bench ns/op) use
 // -threshold (percent); deterministic headline metrics use -metric-threshold,
 // tight by default because any drift in a seeded simulation means the model's
-// behavior changed. -warn-only prints the report but always exits zero (for
-// non-blocking CI introduction). -wall-warn-only demotes only the wall-clock
-// regressions to warnings while deterministic metric drift still fails —
-// the blocking mode for noisy shared CI runners.
+// behavior changed; allocation figures (per-experiment allocs/bytes from
+// serial runs, go-bench allocs/op and B/op) use -alloc-threshold. -warn-only
+// prints the report but always exits zero (for non-blocking CI introduction).
+// -wall-warn-only demotes only the wall-clock regressions to warnings while
+// deterministic metric drift still fails — the blocking mode for noisy shared
+// CI runners. -alloc-warn-only does the same for allocation regressions.
 package main
 
 import (
@@ -26,8 +29,10 @@ import (
 func main() {
 	threshold := flag.Float64("threshold", 0, "allowed wall-clock slowdown in percent (0 = default 25)")
 	metricThreshold := flag.Float64("metric-threshold", 0, "allowed headline-metric drift in percent (0 = default 0.1)")
+	allocThreshold := flag.Float64("alloc-threshold", 0, "allowed allocation growth in percent (0 = default 10)")
 	warnOnly := flag.Bool("warn-only", false, "report regressions but exit zero")
 	wallWarnOnly := flag.Bool("wall-warn-only", false, "demote wall-clock regressions to warnings; deterministic metrics still fail")
+	allocWarnOnly := flag.Bool("alloc-warn-only", false, "demote allocation regressions to warnings")
 	flag.Parse()
 
 	if flag.NArg() != 2 {
@@ -49,7 +54,9 @@ func main() {
 	r := bench.Compare(base, cur, bench.CompareOptions{
 		WallThresholdPct:   *threshold,
 		MetricThresholdPct: *metricThreshold,
+		AllocThresholdPct:  *allocThreshold,
 		WallWarnOnly:       *wallWarnOnly,
+		AllocWarnOnly:      *allocWarnOnly,
 	})
 	fmt.Printf("base: %s\nnew:  %s\n\n%s", base.Summary(), cur.Summary(), r)
 	if r.Failed() {

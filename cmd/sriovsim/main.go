@@ -12,6 +12,7 @@
 //	sriovsim -hosts 4                # cluster scale-out sweep with 4 hosts
 //	sriovsim -hosts 4 -links 1000:5:256  # ...with explicit fabric link shape
 //	sriovsim -list                   # list available experiments
+//	sriovsim -alloc-table BENCH.json # per-experiment alloc columns as markdown
 //
 // Output is byte-identical at any -parallel value: experiments shard into
 // independent series points, each simulated on its own deterministically
@@ -52,9 +53,15 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-task progress on stderr")
 	hosts := flag.Int("hosts", 0, "run a cluster scale-out sweep over this many hosts behind the ToR switch")
 	links := flag.String("links", "", "fabric link shape for -hosts as `rateMbps:latencyUs:queueKiB` (0 or empty fields keep defaults)")
+	allocTable := flag.String("alloc-table", "", "print per-experiment allocation columns of this BENCH.json as markdown rows and exit")
 	flag.Parse()
 
 	switch {
+	case *allocTable != "":
+		if err := printAllocTable(*allocTable); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	case *list:
 		for _, s := range sriov.Experiments() {
 			kind := "whole"
@@ -190,6 +197,29 @@ func runSuite(ids []string, custom []sriov.Experiment, parallel int, csv, quiet 
 		return 1
 	}
 	return 0
+}
+
+// printAllocTable emits one "| id | allocs | bytes |" markdown row per
+// experiment in the given BENCH.json that carries allocation columns — the
+// CI job-summary backing. Parallel runs record none (attribution needs one
+// worker); the table then says so instead of rendering empty.
+func printAllocTable(path string) error {
+	f, err := bench.Read(path)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for _, e := range f.Experiments {
+		if e.Allocs == 0 && e.AllocBytes == 0 {
+			continue
+		}
+		n++
+		fmt.Printf("| %s | %d | %d |\n", e.ID, e.Allocs, e.AllocBytes)
+	}
+	if n == 0 {
+		fmt.Printf("| _none recorded (parallel run; use -parallel 1)_ | | |\n")
+	}
+	return nil
 }
 
 // writeMetrics dumps the suite's merged metrics registry as JSON.

@@ -36,6 +36,12 @@ type Experiment struct {
 	// Metrics are the headline figure metrics: each series' final value
 	// (what bench_test.go reports per figure).
 	Metrics []report.Metric `json:"metrics"`
+	// Allocs / AllocBytes are the heap allocations the experiment's tasks
+	// performed. They are only recorded on serial runs (-parallel 1), where
+	// per-task attribution is exact, and omitted otherwise; the comparator
+	// gates them when both files carry them.
+	Allocs     uint64 `json:"allocs,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
 }
 
 // Totals aggregates the whole run.
@@ -99,7 +105,8 @@ func Collect(sum *runner.Summary, packets int64, allocBytes, mallocs uint64) *Fi
 		Parallel:   sum.Parallel,
 	}
 	for _, r := range sum.Results {
-		e := Experiment{ID: r.ID, Title: r.Title, WallNS: r.Wall.Nanoseconds(), Tasks: r.Tasks}
+		e := Experiment{ID: r.ID, Title: r.Title, WallNS: r.Wall.Nanoseconds(), Tasks: r.Tasks,
+			Allocs: r.Allocs, AllocBytes: r.AllocBytes}
 		if r.Figure != nil {
 			e.ChecksPass = r.Figure.AllChecksPass()
 			e.Metrics = r.Figure.Headline()

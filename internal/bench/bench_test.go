@@ -18,6 +18,7 @@ func baseFile() *File {
 					{Series: "cpu", Unit: "%", Value: 50},
 					{Series: "throughput", Unit: "Mbps", Value: 9000},
 				},
+				Allocs: 1_000_000, AllocBytes: 64_000_000,
 			},
 			{
 				ID: "fig20", Title: "migration", WallNS: 500_000_000, Tasks: 1, ChecksPass: true,
@@ -25,7 +26,7 @@ func baseFile() *File {
 			},
 		},
 		GoBench: []GoBenchResult{
-			{Name: "BenchmarkFig16-8", N: 10, Metrics: map[string]float64{"ns/op": 1000, "B/op": 64}},
+			{Name: "BenchmarkFig16-8", N: 10, Metrics: map[string]float64{"ns/op": 1000, "B/op": 64, "allocs/op": 8}},
 		},
 		Totals: Totals{WallNS: 1_500_000_000, SimEvents: 1_000_000, EventsPerSec: 666_666},
 	}
@@ -166,6 +167,87 @@ func TestCompareGoBench(t *testing.T) {
 	}
 	if len(r.Warnings) != 1 || !strings.Contains(r.Warnings[0], "absent") {
 		t.Fatalf("absent go-bench section not warned about: %s", r)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Experiments[0].Allocs = base.Experiments[0].Allocs * 3 / 2 // +50% > 10%
+	r := Compare(base, cur, CompareOptions{})
+	if !r.Failed() || len(r.Regressions) != 1 {
+		t.Fatalf("alloc regression not caught: %s", r)
+	}
+	if !strings.Contains(r.Regressions[0], "fig08: allocs") {
+		t.Fatalf("wrong figure blamed: %s", r.Regressions[0])
+	}
+
+	// Warn-only mode demotes it without touching the exit status.
+	r = Compare(base, cur, CompareOptions{AllocWarnOnly: true})
+	if r.Failed() {
+		t.Fatalf("alloc-warn-only still failed: %s", r)
+	}
+	if len(r.Warnings) != 1 || !strings.Contains(r.Warnings[0], "alloc warn-only") {
+		t.Fatalf("alloc regression not demoted to warning: %s", r)
+	}
+}
+
+func TestCompareAllocImprovementAndThreshold(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Experiments[0].AllocBytes = base.Experiments[0].AllocBytes / 5 // -80%
+	r := Compare(base, cur, CompareOptions{})
+	if r.Failed() {
+		t.Fatalf("alloc improvement failed the gate: %s", r)
+	}
+	if len(r.Improvements) != 1 || !strings.Contains(r.Improvements[0], "alloc bytes") {
+		t.Fatalf("alloc improvement not reported: %s", r)
+	}
+
+	cur = clone(t, base)
+	cur.Experiments[0].Allocs = base.Experiments[0].Allocs * 105 / 100 // +5% < 10%
+	if r := Compare(base, cur, CompareOptions{}); r.Failed() {
+		t.Fatalf("alloc noise within threshold failed the gate: %s", r)
+	}
+}
+
+func TestCompareAllocAbsentSideSkipped(t *testing.T) {
+	// A parallel run records no per-experiment allocs; that must read as
+	// "not measured", not as a regression or a 100% improvement.
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Experiments[0].Allocs = 0
+	cur.Experiments[0].AllocBytes = 0
+	r := Compare(base, cur, CompareOptions{})
+	if r.Failed() || len(r.Improvements) != 0 {
+		t.Fatalf("absent alloc fields produced noise: %s", r)
+	}
+	// Same the other way: an alloc-less baseline gates nothing.
+	base.Experiments[0].Allocs = 0
+	base.Experiments[0].AllocBytes = 0
+	cur = clone(t, baseFile())
+	if r := Compare(base, cur, CompareOptions{}); r.Failed() || len(r.Improvements) != 0 {
+		t.Fatalf("alloc-less baseline produced noise: %s", r)
+	}
+}
+
+func TestCompareGoBenchAllocs(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.GoBench[0].Metrics["allocs/op"] = 16 // +100% > 10%
+	r := Compare(base, cur, CompareOptions{})
+	if !r.Failed() || len(r.Regressions) != 1 {
+		t.Fatalf("go-bench allocs/op regression not caught: %s", r)
+	}
+	if !strings.Contains(r.Regressions[0], "allocs/op") {
+		t.Fatalf("wrong unit blamed: %s", r.Regressions[0])
+	}
+
+	cur = clone(t, base)
+	cur.GoBench[0].Metrics["B/op"] = 8 // -87%
+	r = Compare(base, cur, CompareOptions{})
+	if r.Failed() || len(r.Improvements) != 1 || !strings.Contains(r.Improvements[0], "B/op") {
+		t.Fatalf("go-bench B/op improvement not reported: %s", r)
 	}
 }
 

@@ -22,11 +22,22 @@ type CompareOptions struct {
 	// events/sec, go-bench ns/op) to warnings while deterministic metrics
 	// keep failing the gate — the right mode for noisy shared CI runners.
 	WallWarnOnly bool
+	// AllocThresholdPct is the allowed growth of allocation figures
+	// (per-experiment allocs / alloc bytes, go-bench allocs/op and B/op)
+	// before the comparison fails. Allocation counts are far steadier than
+	// wall clocks — they don't depend on machine load — but small runtime
+	// and library version effects exist, so the default sits between the
+	// wall and metric thresholds.
+	AllocThresholdPct float64
+	// AllocWarnOnly demotes allocation regressions to warnings, the
+	// introduction mode for the alloc gate.
+	AllocWarnOnly bool
 }
 
-// DefaultCompareOptions: 25% on wall clocks, 0.1% on simulated metrics.
+// DefaultCompareOptions: 25% on wall clocks, 0.1% on simulated metrics,
+// 10% on allocation counts.
 func DefaultCompareOptions() CompareOptions {
-	return CompareOptions{WallThresholdPct: 25, MetricThresholdPct: 0.1}
+	return CompareOptions{WallThresholdPct: 25, MetricThresholdPct: 0.1, AllocThresholdPct: 10}
 }
 
 // Report is a comparison's outcome. Regressions and Missing fail the gate;
@@ -86,6 +97,9 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 	if opts.MetricThresholdPct <= 0 {
 		opts.MetricThresholdPct = DefaultCompareOptions().MetricThresholdPct
 	}
+	if opts.AllocThresholdPct <= 0 {
+		opts.AllocThresholdPct = DefaultCompareOptions().AllocThresholdPct
+	}
 	r := &Report{}
 	// wallRegress routes wall-based regressions to the failing or the
 	// warn-only bucket.
@@ -94,6 +108,29 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 			r.Warnings = append(r.Warnings, msg+" [wall warn-only]")
 		} else {
 			r.Regressions = append(r.Regressions, msg)
+		}
+	}
+	// allocRegress does the same for allocation-based regressions.
+	allocRegress := func(msg string) {
+		if opts.AllocWarnOnly {
+			r.Warnings = append(r.Warnings, msg+" [alloc warn-only]")
+		} else {
+			r.Regressions = append(r.Regressions, msg)
+		}
+	}
+	// allocGate compares one allocation figure, gating only when both sides
+	// recorded it (per-experiment allocs need a serial run; go-bench needs
+	// -benchmem) — a missing side means "not measured", never a regression.
+	allocGate := func(label, unit string, base, cur float64) {
+		if base == 0 || cur == 0 {
+			return
+		}
+		if d := pctChange(base, cur); d > opts.AllocThresholdPct {
+			allocRegress(fmt.Sprintf("%s: %.4g → %.4g %s (+%.0f%% > %.0f%%)",
+				label, base, cur, unit, d, opts.AllocThresholdPct))
+		} else if d < -opts.AllocThresholdPct {
+			r.Improvements = append(r.Improvements,
+				fmt.Sprintf("%s: %.4g → %.4g %s (%.0f%%)", label, base, cur, unit, d))
 		}
 	}
 
@@ -114,6 +151,8 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 				fmt.Sprintf("%s: wall %.0fms → %.0fms (%.0f%%)",
 					be.ID, float64(be.WallNS)/1e6, float64(ce.WallNS)/1e6, d))
 		}
+		allocGate(be.ID+": allocs", "allocs", float64(be.Allocs), float64(ce.Allocs))
+		allocGate(be.ID+": alloc bytes", "B", float64(be.AllocBytes), float64(ce.AllocBytes))
 		for _, bm := range be.Metrics {
 			cm, ok := ce.Metric(bm.Series)
 			if !ok {
@@ -205,6 +244,13 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 			} else if d < -opts.WallThresholdPct {
 				r.Improvements = append(r.Improvements,
 					fmt.Sprintf("go-bench %s: %.0f → %.0f ns/op (%.0f%%)", bg.Name, bNs, cNs, d))
+			}
+		}
+		for _, unit := range []string{"allocs/op", "B/op"} {
+			bv, bOK := bg.Metrics[unit]
+			cv, cOK := cg.Metrics[unit]
+			if bOK && cOK {
+				allocGate("go-bench "+bg.Name, unit, bv, cv)
 			}
 		}
 	}

@@ -40,6 +40,9 @@ type Config struct {
 	// Obs receives every host's and the fabric's metrics; nil gets a
 	// fresh registry.
 	Obs *obs.Registry
+	// Arena, when set, supplies the shared engine's event free list (see
+	// core.Config.Arena); nil gives it a private one.
+	Arena *sim.Arena
 }
 
 func (c *Config) fill() {
@@ -92,7 +95,7 @@ type Host struct {
 // through one registry.
 func New(cfg Config) *Cluster {
 	cfg.fill()
-	eng := sim.NewEngine(cfg.Seed)
+	eng := sim.NewEngineArena(cfg.Seed, cfg.Arena)
 	c := &Cluster{Eng: eng, Obs: cfg.Obs, Switch: newSwitch(eng, cfg.Obs)}
 	for i := 0; i < cfg.Hosts; i++ {
 		hcfg := cfg.Host

@@ -140,7 +140,7 @@ type FabricChannel struct {
 	rx        units.Size // cumulative bytes observed at the target
 	target    units.Size // rx level that completes the current chunk
 	attempts  int
-	watchdog  *sim.Handle
+	watchdog  sim.Handle
 	done      func(error)
 	closed    bool
 

@@ -36,6 +36,12 @@ type Config struct {
 	// creating its own — how a cluster puts N hosts on one clock (Seed is
 	// then ignored). Single-host testbeds leave it nil.
 	Eng *sim.Engine
+	// Arena, when set, is the event free list the testbed's engine draws
+	// from, so engines built one after another on a runner worker reuse
+	// event storage across experiment points. Ignored when Eng is set; nil
+	// gives the engine a private arena. Purely an allocation optimization —
+	// results never depend on it.
+	Arena *sim.Arena
 	// Name, when set, prefixes port names ("h0:eth0") so instrument names
 	// from different hosts sharing one obs registry never collide.
 	Name string
@@ -131,7 +137,7 @@ func NewTestbed(cfg Config) *Testbed {
 	cfg.fill()
 	eng := cfg.Eng
 	if eng == nil {
-		eng = sim.NewEngine(cfg.Seed)
+		eng = sim.NewEngineArena(cfg.Seed, cfg.Arena)
 	}
 	meter := cpu.NewMeter(cpu.System{Threads: model.ServerThreads, Freq: model.ServerFreq})
 	fabric := pcie.NewFabric()

@@ -27,12 +27,6 @@ type Netback struct {
 
 	vifs map[nic.MAC]*PVNic
 
-	// accum aggregates arriving packets per vif between backend poll
-	// rounds, as the real backend's ring does: the thread serves whatever
-	// accumulated, so the per-round fixed cost is paid per poll, not per
-	// wire delivery.
-	accum map[nic.MAC]*nic.Batch
-
 	// Delivered / Dropped count packets through the backend.
 	Delivered int64
 	Dropped   int64
@@ -52,10 +46,9 @@ const dom0BridgePerPacketCycles units.Cycles = 900
 // NewNetback creates a backend with the given number of copy threads.
 func NewNetback(hv *vmm.Hypervisor, threads int) *Netback {
 	return &Netback{
-		hv:    hv,
-		pool:  cpu.NewPool(hv.Engine(), hv.Meter(), cpu.Account{Domain: "dom0", Category: "netback"}, threads, netbackQueueCap),
-		vifs:  make(map[nic.MAC]*PVNic),
-		accum: make(map[nic.MAC]*nic.Batch),
+		hv:   hv,
+		pool: cpu.NewPool(hv.Engine(), hv.Meter(), cpu.Account{Domain: "dom0", Category: "netback"}, threads, netbackQueueCap),
+		vifs: make(map[nic.MAC]*PVNic),
 	}
 }
 
@@ -88,6 +81,16 @@ type PVNic struct {
 	// because the backend kicks once per batch).
 	pending nic.Batch
 
+	// acc aggregates arriving packets between backend poll rounds, as the
+	// real backend's ring does: the thread serves whatever accumulated, so
+	// the per-round fixed cost is paid per poll, not per wire delivery.
+	// accPoll is the poll callback, created once at CreateVif so the
+	// steady-state FromNIC path schedules without allocating; serve re-looks
+	// the MAC up at poll time, preserving destroy/recreate semantics.
+	acc        nic.Batch
+	accPending bool
+	accPoll    func()
+
 	// Events counts backend→frontend kicks.
 	Events int64
 }
@@ -99,6 +102,15 @@ func (nb *Netback) CreateVif(dom *vmm.Domain, mac nic.MAC, recv *guest.NetReceiv
 		return nil, fmt.Errorf("drivers: MAC %v already has a vif", mac)
 	}
 	v := &PVNic{nb: nb, hv: nb.hv, dom: dom, mac: mac, recv: recv}
+	v.accPoll = func() {
+		if !v.accPending {
+			return
+		}
+		v.accPending = false
+		b := v.acc
+		v.acc = nic.Batch{}
+		nb.serve(b)
+	}
 	recv.PerPacketExtra = model.NetfrontPerPacketCycles
 	if dom.Type == vmm.PVM || dom.Type == vmm.Dom0 {
 		port, err := nb.hv.BindEventChannel(dom, fmt.Sprintf("vif-%v", mac), v.frontendInterrupt)
@@ -129,25 +141,19 @@ func (v *PVNic) Domain() *vmm.Domain { return v.dom }
 // served by a backend thread once per poll interval — so the fixed
 // per-round cost is paid at the backend's own granularity.
 func (nb *Netback) FromNIC(b nic.Batch) {
-	if _, ok := nb.vifs[b.Dst]; !ok {
+	v, ok := nb.vifs[b.Dst]
+	if !ok {
 		nb.Dropped += int64(b.Count)
 		return
 	}
-	if pend := nb.accum[b.Dst]; pend != nil {
-		pend.Count += b.Count
-		pend.Bytes += b.Bytes
+	if v.accPending {
+		v.acc.Count += b.Count
+		v.acc.Bytes += b.Bytes
 		return
 	}
-	cp := b
-	nb.accum[b.Dst] = &cp
-	nb.hv.Engine().After(netbackPollInterval, "netback:poll", func() {
-		pend := nb.accum[b.Dst]
-		if pend == nil {
-			return
-		}
-		delete(nb.accum, b.Dst)
-		nb.serve(*pend)
-	})
+	v.accPending = true
+	v.acc = b
+	nb.hv.Engine().After(netbackPollInterval, "netback:poll", v.accPoll)
 }
 
 // serve moves one aggregated batch through a backend thread: the copy work

@@ -46,7 +46,7 @@ type VFDriver struct {
 	// backoff until MailboxMaxAttempts, then the channel is declared dead.
 	mboxPending  *nic.Message
 	mboxAttempts int
-	mboxTimer    *sim.Handle
+	mboxTimer    sim.Handle
 	mboxBacklog  []nic.Message
 	mboxDead     bool
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/netstack"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/vmm"
 )
@@ -47,9 +48,10 @@ func ClusterScaleSpec(hosts int, link cluster.LinkConfig) Spec {
 		Title:  fmt.Sprintf("Cluster scale-out: %d hosts behind a ToR switch", hosts),
 		Points: points, Build: build,
 		Run: func() *report.Figure {
+			arena := sim.NewArena()
 			results := make([]any, len(points))
 			for i, p := range points {
-				results[i] = p.Run(PointSeed(id, p.Label), obs.NewRegistry())
+				results[i] = p.Run(PointSeed(id, p.Label), obs.NewRegistry(), arena)
 			}
 			return build(results)
 		},
@@ -72,8 +74,8 @@ func clusterScalePoints(hostCounts []int, link cluster.LinkConfig) []Point {
 			hosts, vms := hosts, vms
 			pts = append(pts, Point{
 				Label: fmt.Sprintf("%dhx%dvm", hosts, vms),
-				Run: func(seed uint64, reg *obs.Registry) any {
-					return runClusterScale(seed, reg, hosts, vms, link)
+				Run: func(seed uint64, reg *obs.Registry, arena *sim.Arena) any {
+					return runClusterScale(seed, reg, arena, hosts, vms, link)
 				},
 			})
 		}
@@ -86,9 +88,9 @@ func clusterScalePoints(hostCounts []int, link cluster.LinkConfig) []Point {
 // host i sends to VM j on host i+1, each at LineRateUDP/vms — so every
 // uplink and every downlink carries exactly one host's worth of line-rate
 // traffic and the fabric is provably non-blocking for the pattern.
-func runClusterScale(seed uint64, reg *obs.Registry, hosts, vms int, link cluster.LinkConfig) clusterCell {
+func runClusterScale(seed uint64, reg *obs.Registry, arena *sim.Arena, hosts, vms int, link cluster.LinkConfig) clusterCell {
 	c := cluster.New(cluster.Config{
-		Hosts: hosts, Seed: seed, Obs: reg, Link: link,
+		Hosts: hosts, Seed: seed, Obs: reg, Link: link, Arena: arena,
 		Host: core.Config{Opts: vmm.AllOptimizations, NetbackThreads: 2},
 	})
 	guests := make([][]*core.Guest, hosts)
@@ -203,8 +205,8 @@ func migrationLoadPoints(link cluster.LinkConfig) []Point {
 		load := load
 		pts = append(pts, Point{
 			Label: fmt.Sprintf("load=%d%%", load),
-			Run: func(seed uint64, reg *obs.Registry) any {
-				return runMigrationUnderLoad(seed, reg, load, link)
+			Run: func(seed uint64, reg *obs.Registry, arena *sim.Arena) any {
+				return runMigrationUnderLoad(seed, reg, arena, load, link)
 			},
 		})
 	}
@@ -216,9 +218,9 @@ func migrationLoadPoints(link cluster.LinkConfig) []Point {
 // host-1 stream at `load` percent of line rate — sharing host 0's uplink
 // with the migration's pre-copy chunks. At t = 4.5 s the guest live-migrates
 // to host 1.
-func runMigrationUnderLoad(seed uint64, reg *obs.Registry, load int, link cluster.LinkConfig) migrationLoadCell {
+func runMigrationUnderLoad(seed uint64, reg *obs.Registry, arena *sim.Arena, load int, link cluster.LinkConfig) migrationLoadCell {
 	c := cluster.New(cluster.Config{
-		Hosts: 2, Seed: seed, Obs: reg, Link: link,
+		Hosts: 2, Seed: seed, Obs: reg, Link: link, Arena: arena,
 		Host: core.Config{Opts: vmm.AllOptimizations, NetbackThreads: 2,
 			GuestMemory: model.GuestMemory / 4},
 	})

@@ -9,6 +9,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/vmm"
 	"repro/internal/workload"
@@ -43,12 +44,12 @@ func coalescePolicies() []netstack.ITRPolicy {
 
 // coalescePointsFor builds one Point per coalescing policy, labelled by the
 // policy name, running the given per-policy measurement.
-func coalescePointsFor(run func(policyIdx int, seed uint64, reg *obs.Registry) any) []Point {
+func coalescePointsFor(run func(policyIdx int, seed uint64, reg *obs.Registry, arena *sim.Arena) any) []Point {
 	var pts []Point
 	for i, p := range coalescePolicies() {
 		i := i
-		pts = append(pts, Point{Label: p.String(), Run: func(seed uint64, reg *obs.Registry) any {
-			return run(i, seed, reg)
+		pts = append(pts, Point{Label: p.String(), Run: func(seed uint64, reg *obs.Registry, arena *sim.Arena) any {
+			return run(i, seed, reg, arena)
 		}})
 	}
 	return pts
@@ -63,9 +64,9 @@ type coalesceMeasure struct {
 	intrHz float64
 }
 
-func fig08Point(policyIdx int, seed uint64, reg *obs.Registry) any {
+func fig08Point(policyIdx int, seed uint64, reg *obs.Registry, arena *sim.Arena) any {
 	p := coalescePolicies()[policyIdx]
-	r := runSRIOV(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, Obs: reg}, 1, vmm.HVM, vmm.Kernel2628,
+	r := runSRIOV(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, Obs: reg, Arena: arena}, 1, vmm.HVM, vmm.Kernel2628,
 		func() netstack.ITRPolicy { return p }, model.LineRateUDP, aicWarm)
 	m := coalesceMeasure{cpu: r.util.Guests + r.util.Xen, dom0: r.util.Dom0, tput: r.goodput.Mbps()}
 	// Recover the interrupt rate from the guest's receiver.
@@ -119,9 +120,9 @@ func buildFig08(results []any) *report.Figure {
 	return f
 }
 
-func fig09Point(policyIdx int, seed uint64, reg *obs.Registry) any {
+func fig09Point(policyIdx int, seed uint64, reg *obs.Registry, arena *sim.Arena) any {
 	p := coalescePolicies()[policyIdx]
-	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, Obs: reg})
+	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, Obs: reg, Arena: arena})
 	g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.Kernel2628, 0, 0, p)
 	if err != nil {
 		panic(err)
@@ -173,9 +174,9 @@ func buildFig09(results []any) *report.Figure {
 // internal switch faster than the wire rate (§6.3).
 const fig10Offered = 2750 * units.Mbps
 
-func fig10Point(policyIdx int, seed uint64, reg *obs.Registry) any {
+func fig10Point(policyIdx int, seed uint64, reg *obs.Registry, arena *sim.Arena) any {
 	p := coalescePolicies()[policyIdx]
-	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, Obs: reg})
+	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, Obs: reg, Arena: arena})
 	g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.Kernel2628, 0, 0, p)
 	if err != nil {
 		panic(err)

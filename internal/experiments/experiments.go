@@ -29,10 +29,14 @@ import (
 // per-point seed (PointSeed) to use for every engine the point creates;
 // reg is the point's private metrics registry — the caller owns it and
 // (for a parallel runner) merges the per-point registries in point order
-// afterwards, so points never share instruments.
+// afterwards, so points never share instruments. arena is the caller's
+// event free list (one per worker goroutine): points pass it into their
+// engines so consecutive points reuse event storage instead of re-paying
+// the allocations. It never affects results, only allocation counts; nil
+// is valid and gives each engine a private arena.
 type Point struct {
 	Label string
-	Run   func(seed uint64, reg *obs.Registry) any
+	Run   func(seed uint64, reg *obs.Registry, arena *sim.Arena) any
 }
 
 // Spec describes one reproducible experiment.
@@ -78,9 +82,10 @@ func registerPoints(id, title string, points []Point, build func([]any) *report.
 	register(Spec{
 		ID: id, Title: title, Points: points, Build: build,
 		Run: func() *report.Figure {
+			arena := sim.NewArena()
 			results := make([]any, len(points))
 			for i, p := range points {
-				results[i] = p.Run(PointSeed(id, p.Label), obs.NewRegistry())
+				results[i] = p.Run(PointSeed(id, p.Label), obs.NewRegistry(), arena)
 			}
 			return build(results)
 		},

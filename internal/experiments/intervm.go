@@ -8,6 +8,7 @@ import (
 	"repro/internal/netstack"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/vmm"
 	"repro/internal/workload"
@@ -39,8 +40,8 @@ func fig13Points() []Point {
 	pts := make([]Point, 0, len(messageSizes))
 	for _, msg := range messageSizes {
 		msg := msg
-		pts = append(pts, Point{Label: msgLabel(msg), Run: func(seed uint64, reg *obs.Registry) any {
-			tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, Obs: reg})
+		pts = append(pts, Point{Label: msgLabel(msg), Run: func(seed uint64, reg *obs.Registry, arena *sim.Arena) any {
+			tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, Obs: reg, Arena: arena})
 			sender, err := tb.AddSRIOVGuest("sender", vmm.HVM, vmm.Kernel2628, 0, 0, netstack.FixedITR(8000))
 			if err != nil {
 				panic(err)
@@ -105,10 +106,10 @@ func fig14Points() []Point {
 	pts := make([]Point, 0, len(messageSizes))
 	for _, msg := range messageSizes {
 		msg := msg
-		pts = append(pts, Point{Label: msgLabel(msg), Run: func(seed uint64, reg *obs.Registry) any {
+		pts = append(pts, Point{Label: msgLabel(msg), Run: func(seed uint64, reg *obs.Registry, arena *sim.Arena) any {
 			// One backend thread serves the single stream, as in the paper's
 			// unidirectional test.
-			tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, NetbackThreads: 1, Obs: reg})
+			tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: vmm.AllOptimizations, NetbackThreads: 1, Obs: reg, Arena: arena})
 			senderG, err := tb.AddPVGuest("sender", vmm.PVM, vmm.Kernel2628, 0)
 			if err != nil {
 				panic(err)

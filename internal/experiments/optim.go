@@ -8,6 +8,7 @@ import (
 	"repro/internal/netstack"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/vmm"
@@ -41,13 +42,13 @@ func fig06Points() []Point {
 	pts := make([]Point, 0, len(fig06VMCounts))
 	for _, n := range fig06VMCounts {
 		n := n
-		pts = append(pts, Point{Label: fmt.Sprintf("%d-VM", n), Run: func(seed uint64, reg *obs.Registry) any {
+		pts = append(pts, Point{Label: fmt.Sprintf("%d-VM", n), Run: func(seed uint64, reg *obs.Registry, arena *sim.Arena) any {
 			rate := perPortRate(n, 1)
 			// Warm past the dynamic moderation's first pps sample so shared
 			// ports measure at the settled interrupt rate.
-			unopt := runSRIOV(core.Config{Seed: seed, Ports: 1, Obs: reg}, n,
+			unopt := runSRIOV(core.Config{Seed: seed, Ports: 1, Obs: reg, Arena: arena}, n,
 				vmm.HVM, vmm.KernelRHEL5, dynamicPolicy, rate, aicWarm)
-			opt := runSRIOV(core.Config{Seed: seed, Ports: 1, Opts: vmm.Optimizations{MaskAccel: true}, Obs: reg}, n,
+			opt := runSRIOV(core.Config{Seed: seed, Ports: 1, Opts: vmm.Optimizations{MaskAccel: true}, Obs: reg, Arena: arena}, n,
 				vmm.HVM, vmm.KernelRHEL5, dynamicPolicy, rate, aicWarm)
 			return fig06Measure{
 				dom0Unopt: unopt.util.Dom0, dom0Opt: opt.util.Dom0,
@@ -127,8 +128,8 @@ func quantMicros(h *obs.Hist, q float64) float64 {
 }
 
 // fig07Run traces all VM-exits of a single HVM guest at 1 GbE line rate.
-func fig07Run(seed uint64, reg *obs.Registry, opts vmm.Optimizations) fig07Measure {
-	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: opts, Obs: reg})
+func fig07Run(seed uint64, reg *obs.Registry, arena *sim.Arena, opts vmm.Optimizations) fig07Measure {
+	tb := core.NewTestbed(core.Config{Seed: seed, Ports: 1, Opts: opts, Obs: reg, Arena: arena})
 	g, err := tb.AddSRIOVGuest("guest-1", vmm.HVM, vmm.KernelRHEL5, 0, 0, dynamicPolicy())
 	if err != nil {
 		panic(err)
@@ -161,11 +162,11 @@ func fig07Run(seed uint64, reg *obs.Registry, opts vmm.Optimizations) fig07Measu
 
 func fig07Points() []Point {
 	return []Point{
-		{Label: "unopt", Run: func(seed uint64, reg *obs.Registry) any {
-			return fig07Run(seed, reg, vmm.Optimizations{MaskAccel: true})
+		{Label: "unopt", Run: func(seed uint64, reg *obs.Registry, arena *sim.Arena) any {
+			return fig07Run(seed, reg, arena, vmm.Optimizations{MaskAccel: true})
 		}},
-		{Label: "eoi-accel", Run: func(seed uint64, reg *obs.Registry) any {
-			return fig07Run(seed, reg, vmm.Optimizations{MaskAccel: true, EOIAccel: true})
+		{Label: "eoi-accel", Run: func(seed uint64, reg *obs.Registry, arena *sim.Arena) any {
+			return fig07Run(seed, reg, arena, vmm.Optimizations{MaskAccel: true, EOIAccel: true})
 		}},
 	}
 }
@@ -281,9 +282,9 @@ func fig12Points() []Point {
 	pts := make([]Point, 0, len(rows))
 	for i, row := range rows {
 		i, label := i, row.label
-		pts = append(pts, Point{Label: label, Run: func(seed uint64, reg *obs.Registry) any {
+		pts = append(pts, Point{Label: label, Run: func(seed uint64, reg *obs.Registry, arena *sim.Arena) any {
 			row := fig12Rows()[i]
-			r := runSRIOV(core.Config{Seed: seed, Ports: 10, Opts: row.opts, Obs: reg}, 10,
+			r := runSRIOV(core.Config{Seed: seed, Ports: 10, Opts: row.opts, Obs: reg, Arena: arena}, 10,
 				row.typ, row.kernel, row.policy, model.LineRateUDP, row.warm)
 			return fig12Measure{total: r.util.Total, dom0: r.util.Dom0, xen: r.util.Xen,
 				guests: r.util.Guests, tput: r.goodput.Gbps()}

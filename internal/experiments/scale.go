@@ -77,7 +77,7 @@ func (k sweepKey) seed() uint64 {
 }
 
 // sweepPoint computes (or returns the memoized) sweep cell.
-func sweepPoint(k sweepKey) scaleMeasure {
+func sweepPoint(k sweepKey, arena *sim.Arena) scaleMeasure {
 	sweepMu.Lock()
 	c, ok := sweepMemo[k]
 	if !ok {
@@ -89,10 +89,10 @@ func sweepPoint(k sweepKey) scaleMeasure {
 		var r bedResult
 		if k.pv {
 			r = runPV(core.Config{Seed: k.seed(), Ports: 10, Opts: vmm.AllOptimizations,
-				NetbackThreads: model.NetbackThreadsEnhanced},
+				NetbackThreads: model.NetbackThreadsEnhanced, Arena: arena},
 				k.n, k.typ, vmm.Kernel2628, perPortRate(k.n, 10))
 		} else {
-			r = runSRIOV(core.Config{Seed: k.seed(), Ports: 10, Opts: vmm.AllOptimizations},
+			r = runSRIOV(core.Config{Seed: k.seed(), Ports: 10, Opts: vmm.AllOptimizations, Arena: arena},
 				k.n, k.typ, vmm.Kernel2628, aicPolicy, perPortRate(k.n, 10), aicWarm)
 		}
 		c.m = scaleMeasure{total: r.util.Total, dom0: r.util.Dom0, xen: r.util.Xen,
@@ -113,7 +113,7 @@ func sweepPoints(pv bool, typ vmm.DomainType, prefix string) []Point {
 			// Memoized across figures: the cell ignores both the per-point
 			// seed (see sweepSeed) and the registry — a cell computed for
 			// Fig. 15 must not write metrics into Fig. 16's registry.
-			Run: func(uint64, *obs.Registry) any { return sweepPoint(k) },
+			Run: func(_ uint64, _ *obs.Registry, arena *sim.Arena) any { return sweepPoint(k, arena) },
 		})
 	}
 	return pts
@@ -257,10 +257,10 @@ func fig19Points() []Point {
 	pts := make([]Point, 0, len(vmCounts))
 	for _, n := range vmCounts {
 		n := n
-		pts = append(pts, Point{Label: fmt.Sprintf("%d", n), Run: func(seed uint64, reg *obs.Registry) any {
+		pts = append(pts, Point{Label: fmt.Sprintf("%d", n), Run: func(seed uint64, reg *obs.Registry, arena *sim.Arena) any {
 			tb := core.NewTestbed(core.Config{
 				Seed: seed, Ports: 1, PortRate: model.VMDqRate, Opts: vmm.AllOptimizations,
-				VMDqThreads: 2, NetbackThreads: 2, Obs: reg,
+				VMDqThreads: 2, NetbackThreads: 2, Obs: reg, Arena: arena,
 			})
 			perVM := units.BitRate(float64(model.VMDqRate) / float64(n))
 			for i := 0; i < n; i++ {

@@ -142,8 +142,11 @@ type IOTLB struct {
 	entries  map[iotlbKey]*iotlbEntry
 	head     *iotlbEntry // most recent
 	tail     *iotlbEntry // least recent
-	Hits     int64
-	Misses   int64
+	// free recycles evicted/invalidated entries so a full cache churning
+	// at miss rate stops allocating once it has seen capacity entries.
+	free   *iotlbEntry // singly linked through next
+	Hits   int64
+	Misses int64
 }
 
 // NewIOTLB creates a cache holding up to capacity translations.
@@ -175,9 +178,22 @@ func (t *IOTLB) insert(rid uint16, gfn, mfn uint64, writable bool) {
 	if len(t.entries) >= t.capacity {
 		t.evict()
 	}
-	e := &iotlbEntry{rid: rid, gfn: gfn, mfn: mfn, writable: writable}
+	e := t.free
+	if e != nil {
+		t.free = e.next
+		e.next = nil
+	} else {
+		e = &iotlbEntry{}
+	}
+	e.rid, e.gfn, e.mfn, e.writable = rid, gfn, mfn, writable
 	t.entries[key] = e
 	t.pushFront(e)
+}
+
+// release recycles an unlinked entry into the free list.
+func (t *IOTLB) release(e *iotlbEntry) {
+	e.next = t.free
+	t.free = e
 }
 
 func (t *IOTLB) touch(e *iotlbEntry) {
@@ -218,6 +234,7 @@ func (t *IOTLB) evict() {
 	}
 	t.unlink(victim)
 	delete(t.entries, iotlbKey{victim.rid, victim.gfn})
+	t.release(victim)
 }
 
 // InvalidateRID drops all cached translations for a requester.
@@ -226,13 +243,19 @@ func (t *IOTLB) InvalidateRID(rid uint16) {
 		if k.rid == rid {
 			t.unlink(e)
 			delete(t.entries, k)
+			t.release(e)
 		}
 	}
 }
 
-// InvalidateAll empties the cache.
+// InvalidateAll empties the cache. Entries are recycled and the map is
+// cleared in place, so repeated invalidations settle into reuse.
 func (t *IOTLB) InvalidateAll() {
-	t.entries = make(map[iotlbKey]*iotlbEntry)
+	for k, e := range t.entries {
+		delete(t.entries, k)
+		e.prev, e.next = nil, nil
+		t.release(e)
+	}
 	t.head, t.tail = nil, nil
 }
 

@@ -64,6 +64,48 @@ type arrivalRec struct {
 	intrAt units.Time // interrupt fire; zero until the queue fires
 }
 
+// arrivalRing is a FIFO of arrival records backed by a growable circular
+// buffer, so the steady-state deliver→drain cycle reuses slots instead of
+// the append/reslice churn a plain slice would pay per batch.
+type arrivalRing struct {
+	buf  []arrivalRec
+	head int
+	n    int
+}
+
+func (r *arrivalRing) len() int { return r.n }
+
+// at returns the i-th record from the front (0 = oldest).
+func (r *arrivalRing) at(i int) *arrivalRec {
+	return &r.buf[(r.head+i)%len(r.buf)]
+}
+
+func (r *arrivalRing) push(rec arrivalRec) {
+	if r.n == len(r.buf) {
+		grown := make([]arrivalRec, 2*len(r.buf)+16)
+		for i := 0; i < r.n; i++ {
+			grown[i] = *r.at(i)
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = rec
+	r.n++
+}
+
+func (r *arrivalRing) popFront() {
+	r.buf[r.head] = arrivalRec{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}
+
+// reset empties the ring, keeping the buffer for reuse (hardware reset).
+func (r *arrivalRing) reset() {
+	for i := range r.buf {
+		r.buf[i] = arrivalRec{}
+	}
+	r.head, r.n = 0, 0
+}
+
 // QueueStats are the per-queue counters.
 type QueueStats struct {
 	RxPackets    int64
@@ -74,6 +116,19 @@ type QueueStats struct {
 	Interrupts   int64
 	TxPackets    int64
 	TxBytes      units.Size
+}
+
+// newQueue constructs a queue with its throttle-timer name and callback
+// created once, so the steady-state interrupt path never allocates.
+func newQueue(p *Port, fn *pcie.Function, name string, ringCap int) *Queue {
+	q := &Queue{port: p, fn: fn, name: name, ringCap: ringCap}
+	q.itrEvName = "nic:itr:" + name
+	q.itrFire = func() {
+		if q.intrEnabled && !q.masked && q.occupied > 0 && q.Sink != nil {
+			q.fire(q.port.eng.Now())
+		}
+	}
+	return q
 }
 
 // Queue is the receive side of one function (PF or VF): a descriptor ring,
@@ -91,7 +146,7 @@ type Queue struct {
 	// arrivals records (count, arrival time) per accepted batch, FIFO, so
 	// Drain can report how long packets waited in the ring — the latency
 	// side of the §5.3 coalescing trade-off.
-	arrivals []arrivalRec
+	arrivals arrivalRing
 	// lastDrainWait is the mean ring wait of the most recent Drain.
 	lastDrainWait units.Duration
 
@@ -105,7 +160,11 @@ type Queue struct {
 	intrEnabled    bool
 	masked         bool
 	throttledUntil units.Time
-	timer          *sim.Handle
+	timer          sim.Handle
+	// itrEvName and itrFire are created once at queue construction so
+	// re-arming the throttle timer costs no string concat and no closure.
+	itrEvName string
+	itrFire   func()
 
 	// stalled wedges the queue's DMA engine (injected fault): deliveries
 	// are lost and no interrupts fire until cleared.
@@ -225,7 +284,7 @@ func (q *Queue) Stalled() bool { return q.stalled }
 func (q *Queue) ResetHW() {
 	q.occupied = 0
 	q.occBytes = 0
-	q.arrivals = nil
+	q.arrivals.reset()
 	q.intrEnabled = false
 	q.masked = false
 	q.itrInterval = 0
@@ -291,7 +350,7 @@ func (q *Queue) deliver(b Batch) {
 		q.occBytes += perPkt * units.Size(accept)
 		q.Stats.RxPackets += int64(accept)
 		q.Stats.RxBytes += perPkt * units.Size(accept)
-		q.arrivals = append(q.arrivals, arrivalRec{count: accept, when: now, sentAt: b.SentAt})
+		q.arrivals.push(arrivalRec{count: accept, when: now, sentAt: b.SentAt})
 		q.ensureObs()
 		if b.SentAt > 0 {
 			d := now.Sub(b.SentAt)
@@ -321,8 +380,8 @@ func (q *Queue) Drain(max int) (int, units.Size) {
 	now := q.port.eng.Now()
 	remaining := n
 	var waitSum int64
-	for remaining > 0 && len(q.arrivals) > 0 {
-		rec := &q.arrivals[0]
+	for remaining > 0 && q.arrivals.len() > 0 {
+		rec := q.arrivals.at(0)
 		take := rec.count
 		if take > remaining {
 			take = remaining
@@ -337,7 +396,9 @@ func (q *Queue) Drain(max int) (int, units.Size) {
 		remaining -= take
 		if rec.count == 0 {
 			// Fully consumed: emit this batch's journey as display spans
-			// for the trace exporter, one per hop.
+			// for the trace exporter, one per hop, then release the slot
+			// back to the ring (guest-drain time is where pooled arrival
+			// state is returned).
 			if sp := q.port.Spans; sp != nil && rec.intrAt != 0 {
 				if rec.sentAt > 0 {
 					sp.Add(q.name, "doorbell→dma", rec.sentAt, rec.when.Sub(rec.sentAt))
@@ -345,7 +406,7 @@ func (q *Queue) Drain(max int) (int, units.Size) {
 				sp.Add(q.name, "dma→intr", rec.when, rec.intrAt.Sub(rec.when))
 				sp.Add(q.name, "intr→drain", rec.intrAt, now.Sub(rec.intrAt))
 			}
-			q.arrivals = q.arrivals[1:]
+			q.arrivals.popFront()
 		}
 	}
 	q.lastDrainWait = units.Duration(waitSum / int64(n))
@@ -369,11 +430,7 @@ func (q *Queue) maybeInterrupt() {
 	if q.timer.Pending() {
 		return
 	}
-	q.timer = q.port.eng.At(q.throttledUntil, "nic:itr:"+q.name, func() {
-		if q.intrEnabled && !q.masked && q.occupied > 0 && q.Sink != nil {
-			q.fire(q.port.eng.Now())
-		}
-	})
+	q.timer = q.port.eng.At(q.throttledUntil, q.itrEvName, q.itrFire)
 }
 
 func (q *Queue) fire(now units.Time) {
@@ -382,8 +439,8 @@ func (q *Queue) fire(now units.Time) {
 	// Stamp the pending arrivals this interrupt covers and record the
 	// ring-wait hops. dma→intr carries the EITR throttle wait — the latency
 	// side of the §5.3 coalescing trade-off.
-	for i := range q.arrivals {
-		rec := &q.arrivals[i]
+	for i := 0; i < q.arrivals.len(); i++ {
+		rec := q.arrivals.at(i)
 		if rec.intrAt != 0 {
 			continue
 		}
@@ -456,6 +513,73 @@ type Port struct {
 	WireRxPackets int64
 	WireRxBytes   units.Size
 	WireRxDropped int64
+
+	// Precomputed event names for the three in-flight transfer kinds, so
+	// scheduling a completion never concatenates strings.
+	wireEvName string
+	p2vEvName  string
+	txEvName   string
+
+	// compFree pools completion objects for in-flight transfers (wire RX,
+	// internal DMA, wire TX). Each carries a once-created run closure; the
+	// object returns to the pool when its event fires, so steady-state
+	// traffic schedules completions without allocating.
+	compFree []*completion
+}
+
+// Completion kinds: what to do when an in-flight transfer's event fires.
+const (
+	compWireRx   = iota // wire serialization done → classify and deliver
+	compInternal        // internal DMA done → deliver to destination queue
+	compWireTx          // line serialization done → hand to Egress
+)
+
+// completion is one pooled in-flight transfer. The batch payload is copied
+// in at schedule time and out to locals at fire time, so the object is back
+// on the free list before any downstream scheduling can need it.
+type completion struct {
+	p    *Port
+	kind int
+	b    Batch
+	dst  *Queue // compInternal destination
+	run  func() // created once, reused across pool generations
+}
+
+func (p *Port) getComp() *completion {
+	if n := len(p.compFree); n > 0 {
+		c := p.compFree[n-1]
+		p.compFree[n-1] = nil
+		p.compFree = p.compFree[:n-1]
+		return c
+	}
+	c := &completion{p: p}
+	c.run = c.fire
+	return c
+}
+
+func (c *completion) fire() {
+	p, kind, b, dst := c.p, c.kind, c.b, c.dst
+	c.b = Batch{}
+	c.dst = nil
+	p.compFree = append(p.compFree, c)
+	switch kind {
+	case compWireRx:
+		p.WireRxPackets += int64(b.Count)
+		p.WireRxBytes += b.Bytes
+		if q, ok := p.ClassifyVLAN(b.Dst, b.VLAN); ok {
+			q.deliver(b)
+		}
+	case compInternal:
+		dst.deliver(b)
+	case compWireTx:
+		p.WireTxPackets += int64(b.Count)
+		p.WireTxBytes += b.Bytes
+		if p.Egress != nil {
+			p.Egress(b)
+		} else {
+			p.WireTxDropped += int64(b.Count)
+		}
+	}
 }
 
 // Config describes one port's construction parameters.
@@ -484,11 +608,14 @@ func New(eng *sim.Engine, cfg Config) *Port {
 		panic("nic: 82576 supports at most 8 VFs per port")
 	}
 	p := &Port{
-		eng:    eng,
-		name:   cfg.Name,
-		rate:   cfg.Rate,
-		linkUp: true,
-		l2:     make(map[l2Key]*Queue),
+		eng:        eng,
+		name:       cfg.Name,
+		rate:       cfg.Rate,
+		linkUp:     true,
+		l2:         make(map[l2Key]*Queue),
+		wireEvName: "nic:wire:" + cfg.Name,
+		p2vEvName:  "nic:p2v:" + cfg.Name,
+		txEvName:   "nic:tx:" + cfg.Name,
 	}
 
 	pf := pcie.NewFunction(cfg.Name, pcie.MakeRID(0, 0, 0), 0x8086, 0x10c9)
@@ -503,7 +630,7 @@ func New(eng *sim.Engine, cfg Config) *Port {
 	p.pf = pf
 	p.dev = pcie.NewDevice(cfg.Name)
 	p.dev.AddPF(pf)
-	p.pfQueue = &Queue{port: p, fn: pf, name: cfg.Name + "/pf", ringCap: cfg.RingCap}
+	p.pfQueue = newQueue(p, pf, cfg.Name+"/pf", cfg.RingCap)
 
 	for i := 0; i < cfg.NumVFs; i++ {
 		vf := p.dev.AddVF(pf, i)
@@ -512,7 +639,7 @@ func New(eng *sim.Engine, cfg Config) *Port {
 		pcie.AddMSIXCap(vf.Config(), 0x70, 3, MSIXTableBAR, 0)
 		pcie.AddMSICap(vf.Config(), 0x50, 0)
 		pcie.AddPCIeCap(vf.Config(), 0xa0)
-		q := &Queue{port: p, fn: vf, name: fmt.Sprintf("%s/vf%d", cfg.Name, i), ringCap: cfg.RingCap}
+		q := newQueue(p, vf, fmt.Sprintf("%s/vf%d", cfg.Name, i), cfg.RingCap)
 		p.vfQueues = append(p.vfQueues, q)
 		idx := i
 		vf.OnFLR = func() { p.flrVF(idx) }
@@ -662,13 +789,9 @@ func (p *Port) ReceiveFromWire(b Batch) {
 		return
 	}
 	p.wireBusyUntil = start.Add(ttime)
-	p.eng.At(p.wireBusyUntil, "nic:wire:"+p.name, func() {
-		p.WireRxPackets += int64(b.Count)
-		p.WireRxBytes += b.Bytes
-		if q, ok := p.ClassifyVLAN(b.Dst, b.VLAN); ok {
-			q.deliver(b)
-		}
-	})
+	c := p.getComp()
+	c.kind, c.b = compWireRx, b
+	p.eng.At(p.wireBusyUntil, p.wireEvName, c.run)
 }
 
 // SendInternal transmits a batch from a source queue to a destination on
@@ -698,7 +821,9 @@ func (p *Port) SendInternal(src *Queue, b Batch) (units.Time, bool) {
 	ttime := units.TransferTime(b.Bytes, p.internalCap) + model.InternalDMASetup
 	p.internalBusyUntil = start.Add(ttime)
 	done := p.internalBusyUntil
-	p.eng.At(done, "nic:p2v:"+p.name, func() { dst.deliver(b) })
+	c := p.getComp()
+	c.kind, c.b, c.dst = compInternal, b, dst
+	p.eng.At(done, p.p2vEvName, c.run)
 	return done, true
 }
 
@@ -727,15 +852,9 @@ func (p *Port) TransmitToWire(src *Queue, b Batch) bool {
 	src.Stats.TxBytes += b.Bytes
 	ttime := units.TransferTime(b.Bytes, p.rate)
 	p.wireTxBusyUntil = start.Add(ttime)
-	p.eng.At(p.wireTxBusyUntil, "nic:tx:"+p.name, func() {
-		p.WireTxPackets += int64(b.Count)
-		p.WireTxBytes += b.Bytes
-		if p.Egress != nil {
-			p.Egress(b)
-		} else {
-			p.WireTxDropped += int64(b.Count)
-		}
-	})
+	c := p.getComp()
+	c.kind, c.b = compWireTx, b
+	p.eng.At(p.wireTxBusyUntil, p.txEvName, c.run)
 	return true
 }
 

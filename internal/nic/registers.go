@@ -119,7 +119,7 @@ func (q *Queue) regWrite(off uint64, val uint64) {
 			// throttle state. The driver re-initializes afterwards.
 			q.occupied = 0
 			q.occBytes = 0
-			q.arrivals = nil
+			q.arrivals.reset()
 			q.intrEnabled = false
 			q.throttledUntil = 0
 			r.ctrl &^= CtrlReset // self-clearing

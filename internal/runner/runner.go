@@ -46,6 +46,13 @@ type Result struct {
 	Wall time.Duration
 	// Tasks is how many tasks the experiment decomposed into (1 if whole).
 	Tasks int
+	// Allocs and AllocBytes are the heap allocations the experiment's tasks
+	// performed (runtime.MemStats deltas summed over tasks). They are only
+	// recorded on serial runs (Parallel == 1), where per-task attribution
+	// is exact — Go has no per-goroutine allocation counters — and stay
+	// zero otherwise.
+	Allocs     uint64
+	AllocBytes uint64
 	// Err is set if any task or the assembly panicked; Figure is then nil.
 	Err error
 }
@@ -124,12 +131,17 @@ func Run(specs []experiments.Spec, opts Options) *Summary {
 	var mu sync.Mutex
 	ch := make(chan task)
 	var wg sync.WaitGroup
+	trackAllocs := workers == 1
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One event arena per worker goroutine: consecutive points on
+			// this worker reuse each other's event storage. Arenas are never
+			// shared across goroutines.
+			arena := sim.NewArena()
 			for t := range ch {
-				runTask(specs, t, pointRes, taskRegs, sum, &mu, opts.Progress)
+				runTask(specs, t, pointRes, taskRegs, sum, &mu, opts.Progress, arena, trackAllocs)
 			}
 		}()
 	}
@@ -195,7 +207,7 @@ func RunIDs(ids []string, opts Options) (*Summary, error) {
 // runTask executes one task with panic isolation: a panicking point marks
 // its experiment failed but never takes down the pool or the other
 // experiments.
-func runTask(specs []experiments.Spec, t task, pointRes [][]any, taskRegs []*obs.Registry, sum *Summary, mu *sync.Mutex, progress func(string)) {
+func runTask(specs []experiments.Spec, t task, pointRes [][]any, taskRegs []*obs.Registry, sum *Summary, mu *sync.Mutex, progress func(string), arena *sim.Arena, trackAllocs bool) {
 	s := specs[t.spec]
 	label := s.ID
 	if t.point >= 0 {
@@ -206,14 +218,26 @@ func runTask(specs []experiments.Spec, t task, pointRes [][]any, taskRegs []*obs
 		progress(label)
 		mu.Unlock()
 	}
+	var m0 runtime.MemStats
+	if trackAllocs {
+		runtime.ReadMemStats(&m0)
+	}
 	start := time.Now()
 	defer func() {
 		wall := time.Since(start)
 		p := recover()
+		var allocs, allocBytes uint64
+		if trackAllocs {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			allocs, allocBytes = m1.Mallocs-m0.Mallocs, m1.TotalAlloc-m0.TotalAlloc
+		}
 		mu.Lock()
 		r := &sum.Results[t.spec]
 		r.Wall += wall
 		r.Tasks++
+		r.Allocs += allocs
+		r.AllocBytes += allocBytes
 		sum.TaskWall.Observe(wall.Seconds())
 		if p != nil && r.Err == nil {
 			r.Err = fmt.Errorf("%s: panic: %v", label, p)
@@ -232,5 +256,5 @@ func runTask(specs []experiments.Spec, t task, pointRes [][]any, taskRegs []*obs
 	// WaitGroup orders the merge's reads).
 	reg := obs.NewRegistry()
 	taskRegs[t.idx] = reg
-	pointRes[t.spec][t.point] = p.Run(experiments.PointSeed(s.ID, p.Label), reg)
+	pointRes[t.spec][t.point] = p.Run(experiments.PointSeed(s.ID, p.Label), reg, arena)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 // suiteMarkdown renders a run the way sriovsim -all does: every figure's
@@ -59,6 +60,26 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 	}
 	if s1.Tasks != s8.Tasks {
 		t.Fatalf("task counts differ: %d vs %d", s1.Tasks, s8.Tasks)
+	}
+
+	// The allocation claim underneath the pooled hot path, pinned where the
+	// arenas are owned: once a worker's arena has warmed up, a steady-state
+	// schedule→fire→recycle round trip heap-allocates nothing at all.
+	if raceEnabled {
+		return // AllocsPerRun is meaningless under the race detector's shadow allocations
+	}
+	eng := sim.NewEngineArena(1, sim.NewArena())
+	fired := 0
+	tick := func() { fired++ }
+	for i := 0; i < 64; i++ {
+		eng.After(1, "runner:warm", tick)
+	}
+	eng.Run()
+	if avg := testing.AllocsPerRun(1000, func() {
+		eng.After(1, "runner:steady", tick)
+		eng.Run()
+	}); avg != 0 {
+		t.Fatalf("steady-state schedule→fire→recycle allocates %.1f allocs/op, want 0", avg)
 	}
 }
 
@@ -148,8 +169,8 @@ func TestPanicIsolation(t *testing.T) {
 		{
 			ID: "boom", Title: "panics",
 			Points: []experiments.Point{
-				{Label: "a", Run: func(uint64, *obs.Registry) any { return 1 }},
-				{Label: "b", Run: func(uint64, *obs.Registry) any { panic("kaboom") }},
+				{Label: "a", Run: func(uint64, *obs.Registry, *sim.Arena) any { return 1 }},
+				{Label: "b", Run: func(uint64, *obs.Registry, *sim.Arena) any { panic("kaboom") }},
 			},
 			Build: func([]any) *report.Figure { return &report.Figure{ID: "boom"} },
 		},

@@ -22,16 +22,24 @@ type (
 	Duration = units.Duration
 )
 
-// Handle identifies a scheduled event and allows cancelling it.
+// Handle identifies a scheduled event and allows cancelling it. It is a
+// small value type: the zero Handle is valid and permanently "not pending".
+//
+// Events are pooled (see Arena), so the *event a Handle points at may be
+// recycled and re-issued to a later, unrelated schedule. The generation
+// counter makes that safe: every recycle bumps the event's gen, so a stale
+// Handle's gen no longer matches and Cancel/Pending degrade to no-ops
+// instead of aliasing the pool's next occupant.
 type Handle struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancel retracts the event if it has not fired yet. It reports whether the
-// event was still pending. Cancelling a nil or already-fired handle is a
-// safe no-op.
-func (h *Handle) Cancel() bool {
-	if h == nil || h.ev == nil || h.ev.cancelled || h.ev.fired {
+// event was still pending. Cancelling a zero, stale (recycled), or
+// already-cancelled handle is a safe no-op.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.gen != h.gen || h.ev.cancelled {
 		return false
 	}
 	h.ev.cancelled = true
@@ -39,8 +47,8 @@ func (h *Handle) Cancel() bool {
 }
 
 // Pending reports whether the event is still scheduled.
-func (h *Handle) Pending() bool {
-	return h != nil && h.ev != nil && !h.ev.cancelled && !h.ev.fired
+func (h Handle) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.cancelled
 }
 
 type event struct {
@@ -49,9 +57,42 @@ type event struct {
 	name      string
 	fn        func()
 	cancelled bool
-	fired     bool
 	index     int // heap index
+	// gen is bumped every time the event is recycled into the free list.
+	// Handles capture the gen at schedule time; a mismatch means the handle
+	// outlived its schedule (the event fired, or was cancelled and reaped).
+	gen uint64
 }
+
+// Arena is a free list of event objects. Engines that run sequentially on
+// one goroutine (the parallel runner's per-worker point loop) can share one
+// Arena so later engines schedule out of the storage earlier engines warmed
+// up, instead of re-paying the allocations per point.
+//
+// Ownership rule: only events the engine has popped from its heap are ever
+// recycled, so an abandoned engine (deadline hit, testbed dropped) keeps
+// exclusive references to its still-pending events and cannot corrupt an
+// arena it shares with a successor. An Arena is not safe for concurrent use.
+type Arena struct {
+	free []*event
+}
+
+// NewArena returns an empty event free list.
+func NewArena() *Arena { return &Arena{} }
+
+// get pops a recycled event, or allocates when the free list is dry.
+func (a *Arena) get() *event {
+	if n := len(a.free); n > 0 {
+		ev := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// put recycles an event. The caller must have bumped gen already.
+func (a *Arena) put(ev *event) { a.free = append(a.free, ev) }
 
 type eventHeap []*event
 
@@ -76,6 +117,10 @@ func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
+	// Clear the vacated tail slot. With pooling this matters beyond GC
+	// hygiene: the popped event is about to be recycled into the Arena, and
+	// a dangling heap-slice reference to it would otherwise be the one path
+	// by which a stale entry could resurface after Stop-during-Run.
 	old[n-1] = nil
 	*h = old[:n-1]
 	return e
@@ -98,13 +143,34 @@ type Engine struct {
 	flushed uint64
 	// limit bounds the number of executed events; 0 means unlimited.
 	limit uint64
+	// arena recycles event objects; pooling gates whether recycled events
+	// are actually reused (false keeps the pre-pool allocate-per-schedule
+	// behavior, for differential testing).
+	arena   *Arena
+	pooling bool
 }
 
 // NewEngine returns an engine at time zero with a deterministic RNG seeded
-// by seed.
+// by seed and a private event arena.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{seed: seed, rng: NewRNG(seed)}
+	return NewEngineArena(seed, nil)
 }
+
+// NewEngineArena is NewEngine with a caller-supplied event arena, so
+// sequentially-run engines (one experiment point after another on a runner
+// worker) reuse each other's event storage. A nil arena gets a private one.
+func NewEngineArena(seed uint64, arena *Arena) *Engine {
+	if arena == nil {
+		arena = NewArena()
+	}
+	return &Engine{seed: seed, rng: NewRNG(seed), arena: arena, pooling: true}
+}
+
+// SetPooling toggles event reuse. Scheduling and handle semantics are
+// identical either way (generations still advance); with pooling off every
+// schedule allocates a fresh event, which is the pre-pool behavior the fuzz
+// tests compare against.
+func (e *Engine) SetPooling(on bool) { e.pooling = on }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -163,22 +229,44 @@ func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
 
 // At schedules fn at absolute time t. Scheduling in the past (before Now)
 // panics: it is always a modeling bug.
-func (e *Engine) At(t Time, name string, fn func()) *Handle {
+//
+// The hot path is allocation-free: the event comes from the arena's free
+// list and the Handle is returned by value. Callers that care about the
+// zero-alloc property must pass a precomputed name (no fmt/concat at the
+// call site) and a long-lived fn (no per-call closure).
+func (e *Engine) At(t Time, name string, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v, before now %v", name, t, e.now))
 	}
 	e.seq++
-	ev := &event{when: t, seq: e.seq, name: name, fn: fn}
+	ev := e.arena.get()
+	ev.when = t
+	ev.seq = e.seq
+	ev.name = name
+	ev.fn = fn
+	ev.cancelled = false
 	heap.Push(&e.events, ev)
-	return &Handle{ev: ev}
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn d after the current time. Negative d is clamped to 0.
-func (e *Engine) After(d Duration, name string, fn func()) *Handle {
+func (e *Engine) After(d Duration, name string, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now.Add(d), name, fn)
+}
+
+// recycle returns a popped event to the arena. Bumping gen first is what
+// invalidates every outstanding Handle to this schedule; it happens even
+// with pooling off so handle semantics do not depend on the pooling mode.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.name = ""
+	if e.pooling {
+		e.arena.put(ev)
+	}
 }
 
 // Stop makes the current Run call return once the executing event completes.
@@ -200,15 +288,22 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		}
 		heap.Pop(&e.events)
 		if next.cancelled {
+			e.recycle(next)
 			continue
 		}
 		if e.limit > 0 && e.processed >= e.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at %v (next event %q)", e.limit, e.now, next.name))
 		}
 		e.now = next.when
-		next.fired = true
 		e.processed++
-		next.fn()
+		// Recycle before calling fn: a self-rescheduling callback (tickers,
+		// interrupt throttles) then reuses its own event, keeping the free
+		// list at steady state. fn is saved to a local first because recycle
+		// clears it; gen has already advanced, so the callback cannot cancel
+		// or observe its own (now historical) schedule.
+		fn := next.fn
+		e.recycle(next)
+		fn()
 	}
 	if !e.stopped && e.now < deadline && deadline < Time(1<<62-1) {
 		e.now = deadline
@@ -235,7 +330,8 @@ type Ticker struct {
 	period Duration
 	name   string
 	fn     func(Time)
-	handle *Handle
+	tick   func() // created once; re-arming must not allocate a closure
+	handle Handle
 	done   bool
 }
 
@@ -246,12 +342,7 @@ func NewTicker(eng *Engine, period Duration, name string, fn func(Time)) *Ticker
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{eng: eng, period: period, name: name, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.handle = t.eng.After(t.period, t.name, func() {
+	t.tick = func() {
 		if t.done {
 			return
 		}
@@ -259,7 +350,13 @@ func (t *Ticker) arm() {
 		if !t.done {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.eng.After(t.period, t.name, t.tick)
 }
 
 // SetPeriod changes the period used for subsequent ticks. If called outside

@@ -81,12 +81,12 @@ func TestCancel(t *testing.T) {
 }
 
 func TestCancelNilSafe(t *testing.T) {
-	var h *Handle
+	var h Handle
 	if h.Cancel() {
-		t.Fatal("nil handle cancel should be false")
+		t.Fatal("zero handle cancel should be false")
 	}
 	if h.Pending() {
-		t.Fatal("nil handle should not be pending")
+		t.Fatal("zero handle should not be pending")
 	}
 }
 

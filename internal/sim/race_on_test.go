@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled skips the alloc-count assertions under the race detector,
+// whose instrumentation perturbs testing.AllocsPerRun.
+const raceEnabled = true
