@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	sriov "repro"
+)
+
+// chaosIDs maps the -chaos selector to experiment ids.
+func chaosIDs(sel string) ([]string, error) {
+	switch sel {
+	case "fig24", "24":
+		return []string{"fig24"}, nil
+	case "fig25", "25":
+		return []string{"fig25"}, nil
+	case "all":
+		return []string{"fig24", "fig25"}, nil
+	}
+	return nil, fmt.Errorf("-chaos: want fig24, fig25 or all, got %q", sel)
+}
+
+// runSoak loops n chaos-soak iterations over consecutive seeds, printing one
+// line per seed, and fails if any iteration leaves an invariant violated or
+// a fault unrecovered. This is the CI soak job's entry point: each iteration
+// is a fresh randomized fault storm (plus the correlated FLR-during-retry
+// preset) followed by the full system-wide invariant audit.
+func runSoak(base uint64, n int, quiet bool) int {
+	bad := 0
+	for i := 0; i < n; i++ {
+		r := sriov.ChaosSoak(base + uint64(i))
+		ok := len(r.Violations) == 0 && r.Unrecovered == 0
+		if !ok {
+			bad++
+		}
+		if !quiet || !ok {
+			status := "ok"
+			if !ok {
+				status = "FAIL"
+			}
+			fmt.Printf("soak seed=%-6d planned=%-3d injected=%-3d recovered=%-3d unrecovered=%d avail=%.3f violations=%d  %s\n",
+				r.Seed, r.Planned, r.Injected, r.Recoveries, r.Unrecovered, r.Availability, len(r.Violations), status)
+		}
+		for _, v := range r.Violations {
+			fmt.Fprintf(os.Stderr, "  seed %d: %s\n", r.Seed, v)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "soak: %d/%d iterations failed\n", bad, n)
+		return 1
+	}
+	fmt.Printf("soak: %d iterations clean (seeds %d..%d)\n", n, base, base+uint64(n)-1)
+	return 0
+}

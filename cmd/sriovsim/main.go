@@ -54,6 +54,9 @@ func main() {
 	hosts := flag.Int("hosts", 0, "run a cluster scale-out sweep over this many hosts behind the ToR switch")
 	links := flag.String("links", "", "fabric link shape for -hosts as `rateMbps:latencyUs:queueKiB` (0 or empty fields keep defaults)")
 	allocTable := flag.String("alloc-table", "", "print per-experiment allocation columns of this BENCH.json as markdown rows and exit")
+	chaosFig := flag.String("chaos", "", "run the chaos figures: fig24, fig25, or all")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "base seed for -soak iterations")
+	soak := flag.Int("soak", 0, "run this many chaos-soak iterations (seeds chaos-seed..chaos-seed+N-1); exit nonzero on any invariant violation")
 	flag.Parse()
 
 	switch {
@@ -70,6 +73,15 @@ func main() {
 			}
 			fmt.Printf("%-8s %-10s %s\n", s.ID, kind, s.Title)
 		}
+	case *soak > 0:
+		os.Exit(runSoak(*chaosSeed, *soak, *quiet))
+	case *chaosFig != "":
+		ids, err := chaosIDs(*chaosFig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Exit(runSuite(ids, nil, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
 	case *hosts > 0:
 		link, err := parseLinks(*links)
 		if err != nil {

@@ -77,6 +77,11 @@ type Totals struct {
 	// experiment family.
 	FabricDrops         int64 `json:"fabric_drops"`
 	MigrationDowntimeUs int64 `json:"migration_downtime_us"`
+	// InvariantViolations is the system-wide invariant audit's total across
+	// every experiment (the comparator fails on any nonzero value, baseline
+	// or not); MTTRUs sums the chaos figures' fault-recovery latencies (µs).
+	InvariantViolations int64 `json:"invariant_violations"`
+	MTTRUs              int64 `json:"mttr_us"`
 }
 
 // File is the canonical BENCH.json document.
@@ -130,6 +135,8 @@ func Collect(sum *runner.Summary, packets int64, allocBytes, mallocs uint64) *Fi
 		MailboxRetries:      sum.Obs.Counter("mailbox.retries").Value(),
 		FabricDrops:         sum.Obs.SumCounters("cluster.link.", ".dropped_pkts"),
 		MigrationDowntimeUs: sum.Obs.Counter("cluster.migration.downtime_us").Value(),
+		InvariantViolations: sum.Obs.Counter("chaos.invariant_violations").Value(),
+		MTTRUs:              sum.Obs.Counter("chaos.mttr_us").Value(),
 	}
 	if secs > 0 {
 		f.Totals.EventsPerSec = float64(sum.Events) / secs

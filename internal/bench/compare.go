@@ -204,6 +204,7 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 		{"mailbox_retries", base.Totals.MailboxRetries, cur.Totals.MailboxRetries},
 		{"fabric_drops", base.Totals.FabricDrops, cur.Totals.FabricDrops},
 		{"migration_downtime_us", base.Totals.MigrationDowntimeUs, cur.Totals.MigrationDowntimeUs},
+		{"mttr_us", base.Totals.MTTRUs, cur.Totals.MTTRUs},
 	}
 	for _, t := range obsTotals {
 		if t.base == 0 {
@@ -214,6 +215,12 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 				fmt.Sprintf("totals: %s drifted %d → %d (±%.2f%% > %.2f%%; deterministic metric — behavior changed)",
 					t.name, t.base, t.cur, math.Abs(d), opts.MetricThresholdPct))
 		}
+	}
+	// The invariant audit is an absolute gate: any violation fails the
+	// comparison regardless of what the baseline recorded.
+	if n := cur.Totals.InvariantViolations; n != 0 {
+		r.Regressions = append(r.Regressions,
+			fmt.Sprintf("totals: invariant_violations = %d (must be 0)", n))
 	}
 
 	// Micro-benchmarks, matched by name; ns/op gets the wall threshold. A

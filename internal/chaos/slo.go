@@ -1,0 +1,141 @@
+package chaos
+
+import (
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// ProbePeriod is the SLO tracker's sampling bucket: recovery times are
+// measured at this granularity, availability is the fraction of healthy
+// buckets.
+const ProbePeriod = 10 * units.Millisecond
+
+// MTTRBounds are the recovery-latency histogram buckets: detection and
+// failover live in the tens-of-milliseconds decade, watchdog FLR recovery
+// around a second — far above the packet-path DefaultLatencyBounds.
+func MTTRBounds() []units.Duration {
+	ms := units.Millisecond
+	return []units.Duration{
+		1 * ms, 2 * ms, 5 * ms, 10 * ms, 20 * ms, 50 * ms,
+		100 * ms, 200 * ms, 500 * ms,
+		units.Second, 2 * units.Second, 5 * units.Second,
+	}
+}
+
+// SLO measures recovery service levels during a fault campaign. It probes
+// a caller-supplied cumulative delivered-packet counter every ProbePeriod;
+// a bucket is healthy when it carried at least healthyFrac of nominal.
+// Each injected fault opens an outage; the first healthy bucket that
+// starts after the injection closes all open outages, and the
+// injection→recovery gap lands in the per-kind MTTR histogram
+// (chaos.mttr.<kind>) and the chaos.mttr_us total.
+type SLO struct {
+	eng       *sim.Engine
+	reg       *obs.Registry
+	probe     func() int64
+	perBucket float64 // nominal packets per bucket
+	frac      float64
+
+	tick *sim.Ticker
+	last int64
+	open []outage
+
+	total, healthy, recovered int64
+}
+
+type outage struct {
+	kind fault.Kind
+	at   units.Time
+}
+
+// Report is an SLO tracker's summary.
+type Report struct {
+	// Availability is the fraction of probe buckets that carried healthy
+	// traffic (1.0 on a fault-free run).
+	Availability float64
+	// Recoveries counts outages closed by a healthy bucket; Unrecovered
+	// counts outages still open at Finish.
+	Recoveries  int64
+	Unrecovered int64
+}
+
+// NewSLO starts a tracker on the engine. nominalPPS is the expected
+// fault-free delivery rate for whatever probe counts; probe returns the
+// cumulative delivered packets (it is called once per ProbePeriod).
+func NewSLO(eng *sim.Engine, reg *obs.Registry, nominalPPS float64, probe func() int64) *SLO {
+	s := &SLO{
+		eng: eng, reg: reg, probe: probe,
+		perBucket: nominalPPS * ProbePeriod.Seconds(),
+		frac:      0.5,
+	}
+	s.tick = sim.NewTicker(eng, ProbePeriod, "chaos:slo", s.sample)
+	return s
+}
+
+// SetHealthyFraction overrides the healthy-bucket threshold (default 0.5
+// of nominal). Aggregate probes spanning several failure domains want it
+// higher, so losing one domain still reads as an outage.
+func (s *SLO) SetHealthyFraction(f float64) { s.frac = f }
+
+// Attach hooks the tracker to the injector: every applied scenario opens
+// an outage stamped with its kind and injection time.
+func (s *SLO) Attach(inj *fault.Injector) {
+	inj.OnInject = func(sc fault.Scenario) {
+		s.open = append(s.open, outage{sc.Kind, s.eng.Now()})
+	}
+}
+
+func (s *SLO) sample(now units.Time) {
+	cur := s.probe()
+	delta := cur - s.last
+	s.last = cur
+	s.total++
+	if float64(delta) < s.perBucket*s.frac {
+		return
+	}
+	s.healthy++
+	if len(s.open) == 0 {
+		return
+	}
+	// Close only outages that have seen at least one full bucket: a fault
+	// landing late in a mostly-healthy bucket hasn't shown its damage yet.
+	keep := s.open[:0]
+	for _, o := range s.open {
+		if now.Sub(o.at) < ProbePeriod {
+			keep = append(keep, o)
+			continue
+		}
+		d := now.Sub(o.at)
+		s.reg.Histogram("chaos.mttr."+o.kind.String(), MTTRBounds()...).Observe(d)
+		s.reg.Counter("chaos.mttr_us").Add(int64(d / units.Microsecond))
+		s.reg.Counter("chaos.recoveries").Inc()
+		s.recovered++
+	}
+	s.open = keep
+}
+
+// Finish stops probing, counts outages that never recovered, and reports
+// availability. The headline counters are registered even on a clean run,
+// so a zero is an explicit zero in merged metrics.
+func (s *SLO) Finish() Report {
+	s.tick.Stop()
+	s.reg.Counter("chaos.unrecovered").Add(int64(len(s.open)))
+	rep := Report{
+		Recoveries:  s.recovered,
+		Unrecovered: int64(len(s.open)),
+	}
+	s.reg.Counter("chaos.mttr_us")
+	if s.total > 0 {
+		rep.Availability = float64(s.healthy) / float64(s.total)
+	}
+	s.open = nil
+	return rep
+}
+
+// MTTR returns the per-kind recovery histogram (nil before any recovery
+// of that kind).
+func (s *SLO) MTTR(k fault.Kind) *obs.Hist {
+	return s.reg.FindHistogram("chaos.mttr." + k.String())
+}

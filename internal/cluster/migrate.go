@@ -97,7 +97,13 @@ func (c *Cluster) MigrateDNIS(spec MigrationSpec, onDone func(*migration.Result)
 			spec.Dst.Bed.HV.HotplugAdd(gT.Dom, func() {
 				vf, err := spec.Dst.Bed.ReattachVF(gT, spec.DstPort, spec.DstVF, spec.Policy)
 				if err != nil {
-					panic(fmt.Sprintf("cluster: target hot-add: %v", err))
+					// The target VF is unusable (surprise-removed, stolen, or
+					// mid-reset). DNIS's whole point is that the PV standby
+					// carries the service, so the migration completes degraded
+					// — guest live on the target, PV-only — instead of dying.
+					c.Obs.Counter("cluster.migration.hot_add_failures").Inc()
+					done()
+					return
 				}
 				gT.Bond = drivers.NewBond(spec.Dst.Bed.HV, gT.Dom, vf, gT.PV, spec.Dst.Bed.Ports[spec.DstPort])
 				done()

@@ -163,3 +163,39 @@ func TestWatchdogBackoff(t *testing.T) {
 		t.Fatalf("watchdog should fire after backoff: reinits = %d", drv.Reinits)
 	}
 }
+
+// TestWatchdogBackoffAtTimeZero is the regression test for the t=0 edge:
+// lastWatchdog was compared against a zero sentinel, so a watchdog reset at
+// sim-time zero was conflated with "never fired" and the next poll reset
+// again inside the backoff window.
+func TestWatchdogBackoffAtTimeZero(t *testing.T) {
+	r := newRig(t, vmm.AllOptimizations)
+	d, recv := r.addGuest(t, "g1", vmm.HVM, vmm.Kernel2628)
+	drv := r.attachVF(t, d, 0, nic.MAC(0xaa), recv, netstack.FixedITR(2000))
+
+	// No Run yet: the device dies and the watchdog fires at exactly t=0.
+	if r.eng.Now() != 0 {
+		t.Fatalf("rig not at time zero: %v", r.eng.Now())
+	}
+	drv.Queue().SetIntrEnabled(false)
+	drv.TryRecover()
+	if drv.Reinits != 1 {
+		t.Fatalf("t=0 watchdog did not reset: reinits = %d", drv.Reinits)
+	}
+
+	r.eng.Run() // reinit completes well inside the backoff window
+	if now := r.eng.Now(); now.Sub(0) >= model.WatchdogResetBackoff {
+		t.Fatalf("setup drifted past the backoff window: now = %v", now)
+	}
+	drv.Queue().SetIntrEnabled(false)
+	drv.TryRecover() // a t=0 reset must be rate-limited like any other
+	if drv.Reinits != 1 {
+		t.Fatalf("t=0 reset was not rate-limited: reinits = %d", drv.Reinits)
+	}
+
+	r.eng.RunUntil(r.eng.Now().Add(model.WatchdogResetBackoff + units.Millisecond))
+	drv.TryRecover()
+	if drv.Reinits != 2 {
+		t.Fatalf("watchdog should fire after backoff: reinits = %d", drv.Reinits)
+	}
+}

@@ -27,10 +27,19 @@ type Netback struct {
 
 	vifs map[nic.MAC]*PVNic
 
-	// Delivered / Dropped count packets through the backend.
+	// Received / Delivered / Dropped count packets through the backend.
+	// Conservation identity, audited by the invariant checker: Received ==
+	// Delivered + Dropped + InFlight (packets still accumulating for a poll
+	// round or queued on a backend thread).
+	Received  int64
 	Delivered int64
 	Dropped   int64
+	inflight  int64
 }
+
+// InFlight reports packets inside the backend pipeline: accumulated for a
+// poll round or queued behind a copy thread. Zero once the engine quiesces.
+func (nb *Netback) InFlight() int64 { return nb.inflight }
 
 // netbackPollInterval is the backend service granularity.
 const netbackPollInterval = 250 * units.Microsecond
@@ -141,11 +150,13 @@ func (v *PVNic) Domain() *vmm.Domain { return v.dom }
 // served by a backend thread once per poll interval — so the fixed
 // per-round cost is paid at the backend's own granularity.
 func (nb *Netback) FromNIC(b nic.Batch) {
+	nb.Received += int64(b.Count)
 	v, ok := nb.vifs[b.Dst]
 	if !ok {
 		nb.Dropped += int64(b.Count)
 		return
 	}
+	nb.inflight += int64(b.Count)
 	if v.accPending {
 		v.acc.Count += b.Count
 		v.acc.Bytes += b.Bytes
@@ -163,7 +174,9 @@ func (nb *Netback) FromNIC(b nic.Batch) {
 func (nb *Netback) serve(b nic.Batch) {
 	v, ok := nb.vifs[b.Dst]
 	if !ok {
+		// The vif was destroyed while the batch accumulated.
 		nb.Dropped += int64(b.Count)
+		nb.inflight -= int64(b.Count)
 		return
 	}
 	contention := 1 + model.PVMultiThreadContention*float64(len(nb.vifs)-1)
@@ -174,10 +187,12 @@ func (nb *Netback) serve(b nic.Batch) {
 		// Grant map/copy hypercalls for the batch.
 		nb.hv.GuestHypercall(v.dom, 1500)
 		nb.Delivered += int64(b.Count)
+		nb.inflight -= int64(b.Count)
 		v.deliver(b)
 	}})
 	if !ok {
 		nb.Dropped += int64(b.Count)
+		nb.inflight -= int64(b.Count)
 	}
 }
 
@@ -236,21 +251,25 @@ func (v *PVNic) GuestTransmit(sender *guest.NetSender, dst nic.MAC, msgSize, fra
 // LocalTransfer moves an inter-VM batch through a backend thread with the
 // local (cache-warm) copy costs.
 func (nb *Netback) LocalTransfer(b nic.Batch) {
+	nb.Received += int64(b.Count)
 	v, ok := nb.vifs[b.Dst]
 	if !ok {
 		nb.Dropped += int64(b.Count)
 		return
 	}
+	nb.inflight += int64(b.Count)
 	cost := units.Cycles(float64(model.PVLocalPerBatchCycles) +
 		float64(b.Count)*float64(model.PVLocalPerPacketCycles) +
 		float64(b.Bytes)*model.PVLocalCopyCyclesPerByte)
 	ok = nb.pool.Submit(cpu.Job{Cost: cost, Run: func() {
 		nb.hv.GuestHypercall(v.dom, 1500)
 		nb.Delivered += int64(b.Count)
+		nb.inflight -= int64(b.Count)
 		v.deliver(b)
 	}})
 	if !ok {
 		nb.Dropped += int64(b.Count)
+		nb.inflight -= int64(b.Count)
 	}
 }
 

@@ -52,8 +52,11 @@ type VFDriver struct {
 
 	// reinitInFlight guards the FLR quiesce window of Reinit.
 	reinitInFlight bool
-	// lastWatchdog rate-limits watchdog-initiated resets.
-	lastWatchdog units.Time
+	// lastWatchdog rate-limits watchdog-initiated resets; watchdogArmed
+	// distinguishes "never fired" from "fired at sim-time zero" (a zero
+	// timestamp is a legitimate firing time, not a sentinel).
+	lastWatchdog  units.Time
+	watchdogArmed bool
 
 	// MACConfirmed reflects mailbox acknowledgment from the PF driver.
 	MACConfirmed bool
@@ -385,6 +388,14 @@ func (d *VFDriver) Healthy() bool {
 	return d.vconfig.Read16(pcie.RegVendorID) != 0xffff
 }
 
+// MboxDead reports whether the mailbox channel was declared dead after
+// retry exhaustion (the explicit give-up state the watchdog-liveness
+// invariant accepts in lieu of recovery).
+func (d *VFDriver) MboxDead() bool { return d.mboxDead }
+
+// ReinitInFlight reports whether an FLR re-initialization is in progress.
+func (d *VFDriver) ReinitInFlight() bool { return d.reinitInFlight }
+
 // TryRecover is the driver's watchdog: when the device looks dead but is
 // still reachable, reset it (FLR + reinit), rate-limited so a persistently
 // broken function is not hammered every poll. Recovery from link-down or
@@ -403,10 +414,11 @@ func (d *VFDriver) TryRecover() {
 		return // nothing wrong at the device level
 	}
 	now := d.hv.Engine().Now()
-	if d.lastWatchdog != 0 && now.Sub(d.lastWatchdog) < model.WatchdogResetBackoff {
+	if d.watchdogArmed && now.Sub(d.lastWatchdog) < model.WatchdogResetBackoff {
 		return
 	}
 	d.lastWatchdog = now
+	d.watchdogArmed = true
 	d.port.Tracer.Emitf(now, "vf", "watchdog", "%s: reset", d.queue.Name())
 	d.Reinit()
 }

@@ -29,11 +29,18 @@ type VMDqBridge struct {
 	vifs       map[nic.MAC]*vmdqVif
 	queuesUsed int
 
-	// DeliveredQueued / DeliveredFallback split traffic by path.
+	// Received counts every packet entering the bridge; DeliveredQueued /
+	// DeliveredFallback split traffic by path. Conservation identity:
+	// Received == DeliveredQueued + DeliveredFallback + Dropped + InFlight.
+	Received          int64
 	DeliveredQueued   int64
 	DeliveredFallback int64
 	Dropped           int64
+	inflight          int64
 }
+
+// InFlight reports packets queued behind a dom0 translation thread.
+func (br *VMDqBridge) InFlight() int64 { return br.inflight }
 
 type vmdqVif struct {
 	dom      *vmm.Domain
@@ -87,6 +94,7 @@ func (br *VMDqBridge) QueuedGuests() int { return br.queuesUsed }
 // pays protection/translation only), the rest go through the copying
 // fallback.
 func (br *VMDqBridge) FromNIC(b nic.Batch) {
+	br.Received += int64(b.Count)
 	v, ok := br.vifs[b.Dst]
 	if !ok {
 		br.Dropped += int64(b.Count)
@@ -97,12 +105,15 @@ func (br *VMDqBridge) FromNIC(b nic.Batch) {
 		br.fallback.FromNIC(b)
 		return
 	}
+	br.inflight += int64(b.Count)
 	cost := units.Cycles(b.Count) * model.VMDqPerPacketDom0Cycles
 	ok = br.pool.Submit(cpu.Job{Cost: cost, Run: func() {
 		br.DeliveredQueued += int64(b.Count)
+		br.inflight -= int64(b.Count)
 		v.pv.deliver(b)
 	}})
 	if !ok {
 		br.Dropped += int64(b.Count)
+		br.inflight -= int64(b.Count)
 	}
 }

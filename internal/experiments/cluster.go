@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/migration"
@@ -116,6 +117,7 @@ func runClusterScale(seed uint64, reg *obs.Registry, arena *sim.Arena, hosts, vm
 	}
 	ms := c.Measure(warmup, window)
 	c.StopAll()
+	chaos.Record(reg, chaos.AuditCluster(c, nil))
 
 	cell := clusterCell{hosts: hosts, vms: vms, drops: c.FabricDrops()}
 	for _, m := range ms {
@@ -256,17 +258,20 @@ func runMigrationUnderLoad(seed uint64, reg *obs.Registry, arena *sim.Arena, loa
 	}
 
 	cell := migrationLoadCell{load: load, memory: int64(vm.Dom.Memory.Pages()) << 12}
+	var mig *cluster.Migration
 	c.Eng.At(units.Time(model.MigrationStart), "experiment:migrate", func() {
-		_, err := c.MigrateDNIS(cluster.MigrationSpec{
+		m, err := c.MigrateDNIS(cluster.MigrationSpec{
 			Src: h0, Guest: vm, Dst: h1, DstPort: 0, DstVF: 2,
 			Policy: netstack.FixedITR(2000),
 		}, func(r *migration.Result) { cell.res = r })
 		if err != nil {
 			panic(err)
 		}
+		mig = m
 	})
 	c.Eng.RunUntil(units.Time(40 * units.Second))
 	c.StopAll()
+	chaos.Record(reg, chaos.AuditCluster(c, []*cluster.Migration{mig}))
 
 	if cell.res != nil && cell.res.Err == nil {
 		// Feed the suite totals: downtime is a headline BENCH metric and

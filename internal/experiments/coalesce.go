@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/netstack"
@@ -130,6 +131,7 @@ func fig09Point(policyIdx int, seed uint64, reg *obs.Registry, arena *sim.Arena)
 	tb.StartTCP(g, p)
 	u, res := tb.Measure(aicWarm, window)
 	tb.StopAll()
+	chaos.Record(reg, chaos.AuditTestbed(tb))
 	return coalesceMeasure{cpu: u.Guests + u.Xen, tput: res[g].Goodput.Mbps()}
 }
 
@@ -190,6 +192,8 @@ func fig10Point(policyIdx int, seed uint64, reg *obs.Registry, arena *sim.Arena)
 	src.Start()
 	u, res := tb.Measure(aicWarm, window)
 	src.Stop()
+	tb.StopAll()
+	chaos.Record(reg, chaos.AuditTestbed(tb))
 	return coalesceMeasure{cpu: u.Guests + u.Xen, tput: res[g].Goodput.Gbps()}
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/netstack"
@@ -155,6 +156,7 @@ func runSRIOV(cfg core.Config, n int, typ vmm.DomainType, k vmm.KernelConfig, po
 	}
 	u, res := tb.Measure(warm, window)
 	tb.StopAll()
+	chaos.Record(tb.Obs, chaos.AuditTestbed(tb))
 	return bedResult{util: u, goodput: core.AggregateGoodput(res), perVM: u.PerGuest, bed: tb}
 }
 
@@ -171,6 +173,7 @@ func runPV(cfg core.Config, n int, typ vmm.DomainType, k vmm.KernelConfig, perVM
 	}
 	u, res := tb.Measure(warmup, window)
 	tb.StopAll()
+	chaos.Record(tb.Obs, chaos.AuditTestbed(tb))
 	return bedResult{util: u, goodput: core.AggregateGoodput(res), perVM: u.PerGuest, bed: tb}
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/model"
@@ -57,6 +58,7 @@ type faultResult struct {
 	vlanJoined  bool // mbox-drop case: the delayed request eventually landed
 	macOK       bool
 	mboxFailure int64
+	violations  []chaos.Violation // system-wide invariant audit after recovery
 }
 
 // runFaultCase builds a fresh two-port testbed with one bonded guest (VF on
@@ -107,8 +109,12 @@ func runFaultCase(c faultCase) faultResult {
 	tb.Eng.At(units.Time(faultAt), "faults:mark", func() { pktsAt2s = g.Recv.Stats.AppPackets })
 	tb.Eng.RunUntil(units.Time(faultEnd))
 	tb.StopAll()
+	tick.Stop() // before the audit advances time into empty buckets
+	violations := chaos.AuditTestbed(tb)
+	chaos.Record(tb.Obs, violations)
 
 	r := faultResult{
+		violations: violations,
 		nominalPPS: float64(pktsAt2s-pktsAt1s) / units.Duration(faultAt-units.Second).Seconds(),
 		retries:    g.VF.MboxRetries,
 		reinits:    g.VF.Reinits,
@@ -206,6 +212,8 @@ func Faults() *report.Figure {
 			f.CheckTrue(c.name+": VF reinitialized via FLR", r.reinits >= 1 && r.macOK,
 				fmt.Sprintf("reinits=%d macOK=%v", r.reinits, r.macOK))
 		}
+		f.CheckTrue(c.name+": zero invariant violations", len(r.violations) == 0,
+			fmt.Sprintf("%v", r.violations))
 	}
 	return f
 }

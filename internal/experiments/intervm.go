@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/guest"
 	"repro/internal/netstack"
@@ -58,6 +59,8 @@ func fig13Points() []Point {
 			src.Start()
 			u, res := tb.Measure(aicWarm, window)
 			src.Stop()
+			tb.StopAll()
+			chaos.Record(reg, chaos.AuditTestbed(tb))
 			return intervmMeasure{tput: res[recvG].Goodput.Gbps(), cpu: u.Total}
 		}})
 	}
@@ -127,6 +130,8 @@ func fig14Points() []Point {
 			src.Start()
 			u, res := tb.Measure(warmup, window)
 			src.Stop()
+			tb.StopAll()
+			chaos.Record(reg, chaos.AuditTestbed(tb))
 			return intervmMeasure{tput: res[recvG].Goodput.Gbps(), cpu: u.Total, dom0: u.Dom0}
 		}})
 	}

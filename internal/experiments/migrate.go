@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/drivers"
 	"repro/internal/migration"
@@ -98,6 +99,7 @@ func runMigrationTimeline(dnis bool) migrationRun {
 	})
 	tb.Eng.RunUntil(units.Time(timelineEnd))
 	tb.StopAll()
+	chaos.Record(tb.Obs, chaos.AuditTestbed(tb))
 	if dnis && g.Bond != nil {
 		run.bondBackVF = g.Bond.ActiveVF()
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/netstack"
@@ -140,6 +141,7 @@ func fig07Run(seed uint64, reg *obs.Registry, arena *sim.Arena, opts vmm.Optimiz
 	start := tb.Eng.Now()
 	end := tb.Eng.RunUntil(start.Add(window))
 	tb.StopAll()
+	chaos.Record(reg, chaos.AuditTestbed(tb))
 	// Add the timer tick's APIC traffic for the window (charged
 	// analytically elsewhere; reflect it in the trace for parity).
 	tb.HV.ChargeTimerBaseline(g.Dom, window)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -272,6 +273,7 @@ func fig19Points() []Point {
 			}
 			u, res := tb.Measure(warmup, window)
 			tb.StopAll()
+			chaos.Record(reg, chaos.AuditTestbed(tb))
 			return scaleMeasure{total: u.Total, dom0: u.Dom0, xen: u.Xen,
 				guests: u.Guests, tput: core.AggregateGoodput(res).Gbps()}
 		}})

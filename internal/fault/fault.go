@@ -99,6 +99,13 @@ type Injector struct {
 	Counters *stats.Counters
 	// Injected counts applied scenarios.
 	Injected int64
+
+	// OnInject, when set, observes every scenario at the moment it is
+	// applied; OnCleared observes the end of its injection window. They are
+	// how the chaos SLO tracker times recoveries without the injector
+	// knowing what "recovered" means.
+	OnInject  func(Scenario)
+	OnCleared func(Scenario)
 }
 
 // NewInjector creates an injector on the engine. The tracer may be nil.
@@ -127,34 +134,41 @@ func (in *Injector) Watch(port *nic.Port, pf *drivers.PFDriver) int {
 	return len(in.targets) - 1
 }
 
-// Schedule validates the scenario and arms it as a simulation event.
+// Schedule validates the scenario and arms it as a simulation event. Errors
+// name the fault kind and the offending target, so a misdirected scenario
+// in a generated campaign is diagnosable from the message alone.
 func (in *Injector) Schedule(s Scenario) error {
 	if s.Port < 0 || s.Port >= len(in.targets) {
-		return fmt.Errorf("fault: no watched port %d", s.Port)
+		return fmt.Errorf("fault: %s scenario targets port index %d, but the injector watches %d port(s) (0..%d)",
+			s.Kind, s.Port, len(in.targets), len(in.targets)-1)
 	}
 	t := in.targets[s.Port]
 	switch s.Kind {
 	case QueueStall, SurpriseRemoveVF:
 		if s.VF < 0 || s.VF >= t.port.NumVFs() {
-			return fmt.Errorf("fault: no VF %d on %s", s.VF, t.port.Name())
+			return fmt.Errorf("fault: %s scenario targets VF %d, but %s has VFs 0..%d",
+				s.Kind, s.VF, t.port.Name(), t.port.NumVFs()-1)
 		}
 	case LinkFlap, MailboxDrop, MailboxDelay:
 		if s.Duration <= 0 {
-			return fmt.Errorf("fault: %s needs a positive duration", s.Kind)
+			return fmt.Errorf("fault: %s on %s needs a positive duration (got %v)",
+				s.Kind, t.port.Name(), s.Duration)
 		}
 	case DeviceReset:
 		// no extra parameters
 	default:
-		return fmt.Errorf("fault: unknown kind %v", s.Kind)
+		return fmt.Errorf("fault: unknown kind %v (port %s)", s.Kind, t.port.Name())
 	}
 	in.eng.At(s.At, "fault:"+s.Kind.String(), func() { in.apply(s) })
 	return nil
 }
 
-// MustSchedule is Schedule for static scenario tables (panics on error).
+// MustSchedule is Schedule for static scenario tables. The panic carries
+// the full scenario alongside the validation error.
 func (in *Injector) MustSchedule(s Scenario) {
 	if err := in.Schedule(s); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("fault: MustSchedule %s (at=%v port=%d vf=%d dur=%v): %v",
+			s.Kind, s.At, s.Port, s.VF, s.Duration, err))
 	}
 }
 
@@ -165,6 +179,9 @@ func (in *Injector) apply(s Scenario) {
 	in.Counters.Add("inject:"+s.Kind.String(), 1)
 	in.Tracer.Emitf(now, "fault", "inject", "%s port=%s vf=%d dur=%v",
 		s.Kind, t.port.Name(), s.VF, s.Duration)
+	if in.OnInject != nil {
+		in.OnInject(s)
+	}
 
 	switch s.Kind {
 	case LinkFlap:
@@ -214,4 +231,7 @@ func (in *Injector) cleared(s Scenario, t *target) {
 	in.Counters.Add("cleared:"+s.Kind.String(), 1)
 	in.Tracer.Emitf(in.eng.Now(), "fault", "cleared", "%s port=%s vf=%d",
 		s.Kind, t.port.Name(), s.VF)
+	if in.OnCleared != nil {
+		in.OnCleared(s)
+	}
 }

@@ -1,6 +1,7 @@
 package fault_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -140,20 +141,82 @@ func TestFaultScheduleIsDeterministic(t *testing.T) {
 func TestScheduleValidation(t *testing.T) {
 	tb := core.NewTestbed(core.Config{Ports: 1, Opts: vmm.AllOptimizations})
 	inj := fault.NewInjector(tb.Eng, nil)
-	if err := inj.Schedule(fault.Scenario{Kind: fault.LinkFlap, Port: 0, Duration: units.Second}); err == nil {
+	// A rejected scenario names both the fault kind and the bad target, so
+	// generated campaigns fail diagnosably.
+	err := inj.Schedule(fault.Scenario{Kind: fault.LinkFlap, Port: 3, Duration: units.Second})
+	if err == nil {
 		t.Fatal("unwatched port should be rejected")
 	}
+	for _, want := range []string{"link-flap", "port index 3", "0 port(s)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unwatched-port error %q missing %q", err, want)
+		}
+	}
 	inj.Watch(tb.Ports[0], tb.PFs[0])
-	if err := inj.Schedule(fault.Scenario{Kind: fault.LinkFlap, Port: 0}); err == nil {
+	err = inj.Schedule(fault.Scenario{Kind: fault.MailboxDrop, Port: 0})
+	if err == nil {
 		t.Fatal("windowed fault without duration should be rejected")
 	}
-	if err := inj.Schedule(fault.Scenario{Kind: fault.QueueStall, Port: 0, VF: 99, Duration: units.Second}); err == nil {
+	for _, want := range []string{"mbox-drop", tb.Ports[0].Name(), "positive duration"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("no-duration error %q missing %q", err, want)
+		}
+	}
+	err = inj.Schedule(fault.Scenario{Kind: fault.QueueStall, Port: 0, VF: 99, Duration: units.Second})
+	if err == nil {
 		t.Fatal("bad VF index should be rejected")
+	}
+	for _, want := range []string{"queue-stall", "VF 99", tb.Ports[0].Name()} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("bad-VF error %q missing %q", err, want)
+		}
 	}
 	if err := inj.Schedule(fault.Scenario{Kind: fault.Kind(77), Port: 0}); err == nil {
 		t.Fatal("unknown kind should be rejected")
 	}
 	if err := inj.Schedule(fault.Scenario{At: units.Time(units.Second), Kind: fault.DeviceReset, Port: 0}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMustSchedulePanicNamesScenario(t *testing.T) {
+	tb := core.NewTestbed(core.Config{Ports: 1, Opts: vmm.AllOptimizations})
+	inj := fault.NewInjector(tb.Eng, nil)
+	inj.Watch(tb.Ports[0], tb.PFs[0])
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("MustSchedule on an invalid scenario should panic")
+		}
+		msg := fmt.Sprint(p)
+		for _, want := range []string{"MustSchedule", "vf-remove", "port=0", "vf=42"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	inj.MustSchedule(fault.Scenario{At: units.Time(units.Second), Kind: fault.SurpriseRemoveVF, Port: 0, VF: 42})
+}
+
+// TestInjectClearedHooks checks the OnInject/OnCleared observation points
+// fire once per scenario, in order, with the scenario passed through.
+func TestInjectClearedHooks(t *testing.T) {
+	tb, _, inj := bondRig(t)
+	var events []string
+	inj.OnInject = func(s fault.Scenario) {
+		events = append(events, "inject:"+s.Kind.String())
+	}
+	inj.OnCleared = func(s fault.Scenario) {
+		events = append(events, "cleared:"+s.Kind.String())
+	}
+	inj.MustSchedule(fault.Scenario{At: units.Time(units.Second), Kind: fault.LinkFlap, Port: 0,
+		Duration: 200 * units.Millisecond})
+	inj.MustSchedule(fault.Scenario{At: units.Time(2 * units.Second), Kind: fault.QueueStall, Port: 0, VF: 0,
+		Duration: 100 * units.Millisecond})
+	tb.Eng.RunUntil(units.Time(3 * units.Second))
+	tb.StopAll()
+	want := []string{"inject:link-flap", "cleared:link-flap", "inject:queue-stall", "cleared:queue-stall"}
+	if fmt.Sprint(events) != fmt.Sprint(want) {
+		t.Fatalf("hook sequence = %v, want %v", events, want)
 	}
 }

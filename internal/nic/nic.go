@@ -106,14 +106,26 @@ func (r *arrivalRing) reset() {
 	r.head, r.n = 0, 0
 }
 
-// QueueStats are the per-queue counters.
+// QueueStats are the per-queue counters. RxPackets, Drained, Occupied and
+// ResetDropped together form the ring-conservation identity the invariant
+// checker audits: every packet accepted into the queue (RxPackets) was
+// handed to software (Drained), is still sitting in the ring (Occupied), or
+// was wiped by a hardware reset (ResetDropped).
 type QueueStats struct {
 	RxPackets    int64
 	RxBytes      units.Size
 	RxDropped    int64 // ring overflow
 	DMAFaults    int64 // IOMMU-rejected deliveries
 	StallDropped int64 // lost while the DMA engine was wedged
-	Interrupts   int64
+	ResetDropped int64 // wiped from the ring by FLR / global device reset
+	// Drained counts packets handed to software: ring drains by the driver's
+	// poll loop, plus DirectDeliver handoffs (which bypass the ring).
+	Drained    int64
+	Interrupts int64
+	// SpuriousIntr counts interrupts fired with nothing pending — always
+	// zero unless the cause-tracking logic regresses (interrupt-liveness
+	// invariant).
+	SpuriousIntr int64
 	TxPackets    int64
 	TxBytes      units.Size
 }
@@ -282,6 +294,9 @@ func (q *Queue) Stalled() bool { return q.stalled }
 // model the IOMMU context and interrupt routing, which a function reset
 // does not touch.
 func (q *Queue) ResetHW() {
+	// Packets in the ring die with the reset; account them so the ring
+	// conservation identity survives FLR and global resets.
+	q.Stats.ResetDropped += int64(q.occupied)
 	q.occupied = 0
 	q.occBytes = 0
 	q.arrivals.reset()
@@ -328,6 +343,8 @@ func (q *Queue) deliver(b Batch) {
 	if q.DirectDeliver != nil {
 		q.Stats.RxPackets += int64(b.Count)
 		q.Stats.RxBytes += b.Bytes
+		// The batch never enters the ring: it is handed to software here.
+		q.Stats.Drained += int64(b.Count)
 		if b.SentAt > 0 {
 			q.ensureObs()
 			d := q.port.eng.Now().Sub(b.SentAt)
@@ -375,6 +392,7 @@ func (q *Queue) Drain(max int) (int, units.Size) {
 	bytes := perPkt * units.Size(n)
 	q.occupied -= n
 	q.occBytes -= bytes
+	q.Stats.Drained += int64(n)
 	// Latency accounting: consume arrival records FIFO and report the
 	// mean wait of the drained packets.
 	now := q.port.eng.Now()
@@ -418,6 +436,21 @@ func (q *Queue) Drain(max int) (int, units.Size) {
 // throttle).
 func (q *Queue) LastDrainWait() units.Duration { return q.lastDrainWait }
 
+// IntrStuck reports whether the queue holds a deliverable pending cause
+// with no way for it to ever interrupt: packets in the ring, interrupts
+// enabled and unmasked, DMA engine running, a sink installed — yet no
+// throttle timer armed and the throttle window already past. A true return
+// at quiesce is an interrupt-liveness violation (the cause would sit
+// forever); every legal state either has the interrupt already delivered,
+// a timer pending, or an external condition (mask, stall, disable) that
+// some later event clears through a path that calls maybeInterrupt.
+func (q *Queue) IntrStuck(now units.Time) bool {
+	if q.occupied == 0 || !q.intrEnabled || q.masked || q.stalled || q.Sink == nil {
+		return false
+	}
+	return !q.timer.Pending() && now >= q.throttledUntil
+}
+
 func (q *Queue) maybeInterrupt() {
 	if !q.intrEnabled || q.masked || q.stalled || q.Sink == nil || q.occupied == 0 {
 		return
@@ -436,6 +469,11 @@ func (q *Queue) maybeInterrupt() {
 func (q *Queue) fire(now units.Time) {
 	q.Stats.Interrupts++
 	q.intrFired.Inc()
+	if q.occupied == 0 {
+		// No pending cause: every fire path checks occupancy first, so this
+		// only trips if the cause tracking regresses.
+		q.Stats.SpuriousIntr++
+	}
 	// Stamp the pending arrivals this interrupt covers and record the
 	// ring-wait hops. dma→intr carries the EITR throttle wait — the latency
 	// side of the §5.3 coalescing trade-off.
@@ -513,6 +551,15 @@ type Port struct {
 	WireRxPackets int64
 	WireRxBytes   units.Size
 	WireRxDropped int64
+	// WireRxUnclassified counts frames that completed wire serialization but
+	// matched no L2 filter — dropped by the switch, with the reason counted
+	// so packet conservation can account for them.
+	WireRxUnclassified int64
+
+	// inflight counts packets inside a scheduled-but-unfired transfer
+	// completion (wire RX serialization, internal DMA, wire TX). At quiesce
+	// it must be zero: every scheduled completion fires.
+	inflight int64
 
 	// Precomputed event names for the three in-flight transfer kinds, so
 	// scheduling a completion never concatenates strings.
@@ -562,12 +609,15 @@ func (c *completion) fire() {
 	c.b = Batch{}
 	c.dst = nil
 	p.compFree = append(p.compFree, c)
+	p.inflight -= int64(b.Count)
 	switch kind {
 	case compWireRx:
 		p.WireRxPackets += int64(b.Count)
 		p.WireRxBytes += b.Bytes
 		if q, ok := p.ClassifyVLAN(b.Dst, b.VLAN); ok {
 			q.deliver(b)
+		} else {
+			p.WireRxUnclassified += int64(b.Count)
 		}
 	case compInternal:
 		dst.deliver(b)
@@ -789,9 +839,29 @@ func (p *Port) ReceiveFromWire(b Batch) {
 		return
 	}
 	p.wireBusyUntil = start.Add(ttime)
+	p.inflight += int64(b.Count)
 	c := p.getComp()
 	c.kind, c.b = compWireRx, b
 	p.eng.At(p.wireBusyUntil, p.wireEvName, c.run)
+}
+
+// InFlightPackets reports packets inside scheduled transfer completions —
+// provably in flight, not lost; zero once the engine quiesces.
+func (p *Port) InFlightPackets() int64 { return p.inflight }
+
+// QuiesceAt reports when the port's last scheduled transfer completes —
+// the instant after which InFlightPackets can reach zero with no new
+// work. A sender overdriving a path (inter-VM DMA, the wire) can push
+// this well past the present.
+func (p *Port) QuiesceAt() units.Time {
+	t := p.wireBusyUntil
+	if p.internalBusyUntil > t {
+		t = p.internalBusyUntil
+	}
+	if p.wireTxBusyUntil > t {
+		t = p.wireTxBusyUntil
+	}
+	return t
 }
 
 // SendInternal transmits a batch from a source queue to a destination on
@@ -821,6 +891,7 @@ func (p *Port) SendInternal(src *Queue, b Batch) (units.Time, bool) {
 	ttime := units.TransferTime(b.Bytes, p.internalCap) + model.InternalDMASetup
 	p.internalBusyUntil = start.Add(ttime)
 	done := p.internalBusyUntil
+	p.inflight += int64(b.Count)
 	c := p.getComp()
 	c.kind, c.b, c.dst = compInternal, b, dst
 	p.eng.At(done, p.p2vEvName, c.run)
@@ -852,6 +923,7 @@ func (p *Port) TransmitToWire(src *Queue, b Batch) bool {
 	src.Stats.TxBytes += b.Bytes
 	ttime := units.TransferTime(b.Bytes, p.rate)
 	p.wireTxBusyUntil = start.Add(ttime)
+	p.inflight += int64(b.Count)
 	c := p.getComp()
 	c.kind, c.b = compWireTx, b
 	p.eng.At(p.wireTxBusyUntil, p.txEvName, c.run)

@@ -62,6 +62,11 @@ type event struct {
 	// Handles capture the gen at schedule time; a mismatch means the handle
 	// outlived its schedule (the event fired, or was cancelled and reaped).
 	gen uint64
+	// pooled is true while the event sits on an Arena free list. It is the
+	// double-recycle tripwire: putting an already-pooled event (or getting
+	// one that thinks it is live) means two owners held the same event,
+	// which is exactly the aliasing bug pooling can introduce.
+	pooled bool
 }
 
 // Arena is a free list of event objects. Engines that run sequentially on
@@ -75,10 +80,19 @@ type event struct {
 // arena it shares with a successor. An Arena is not safe for concurrent use.
 type Arena struct {
 	free []*event
+	// corruptions counts integrity failures the pool detected and refused:
+	// an event recycled twice, or a free-list entry that was not marked
+	// pooled. Zero on every healthy run; the chaos invariant checker gates
+	// on it (pool-integrity invariant).
+	corruptions int64
 }
 
 // NewArena returns an empty event free list.
 func NewArena() *Arena { return &Arena{} }
+
+// Corruptions reports how many pool-integrity failures (double-recycles,
+// free-list entries not marked pooled) the arena has detected.
+func (a *Arena) Corruptions() int64 { return a.corruptions }
 
 // get pops a recycled event, or allocates when the free list is dry.
 func (a *Arena) get() *event {
@@ -86,13 +100,30 @@ func (a *Arena) get() *event {
 		ev := a.free[n-1]
 		a.free[n-1] = nil
 		a.free = a.free[:n-1]
+		if !ev.pooled {
+			// A free-list occupant that does not believe it is pooled has a
+			// second owner somewhere. Count it; handing it out anyway is no
+			// worse than the aliasing that already happened.
+			a.corruptions++
+		}
+		ev.pooled = false
 		return ev
 	}
 	return &event{}
 }
 
-// put recycles an event. The caller must have bumped gen already.
-func (a *Arena) put(ev *event) { a.free = append(a.free, ev) }
+// put recycles an event. The caller must have bumped gen already. A
+// double-put (the event is already on the free list) is detected, counted,
+// and refused — the event is not appended twice, so a detected corruption
+// does not also corrupt future schedules.
+func (a *Arena) put(ev *event) {
+	if ev.pooled {
+		a.corruptions++
+		return
+	}
+	ev.pooled = true
+	a.free = append(a.free, ev)
+}
 
 type eventHeap []*event
 
@@ -165,6 +196,10 @@ func NewEngineArena(seed uint64, arena *Arena) *Engine {
 	}
 	return &Engine{seed: seed, rng: NewRNG(seed), arena: arena, pooling: true}
 }
+
+// Arena exposes the engine's event pool, so integrity checkers can read
+// its corruption counter at quiesce.
+func (e *Engine) Arena() *Arena { return e.arena }
 
 // SetPooling toggles event reuse. Scheduling and handle semantics are
 // identical either way (generations still advance); with pooling off every

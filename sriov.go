@@ -24,6 +24,7 @@ package sriov
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/drivers"
@@ -238,6 +239,35 @@ func NewFaultInjector(tb *Testbed, tracer *TraceBuffer) *FaultInjector {
 // NewTrace creates a trace buffer holding up to capacity events.
 func NewTrace(capacity int) *TraceBuffer { return trace.NewBuffer(capacity) }
 
+// Chaos: seeded randomized fault campaigns and system-wide invariant audits.
+type (
+	// ChaosConfig parameterizes one randomized fault campaign.
+	ChaosConfig = chaos.Config
+	// ChaosViolation is one failed system invariant.
+	ChaosViolation = chaos.Violation
+	// ChaosSLO tracks recovery service levels during a campaign.
+	ChaosSLO = chaos.SLO
+	// ChaosSoakResult summarizes one chaos-soak iteration.
+	ChaosSoakResult = experiments.SoakResult
+)
+
+// ChaosPlan draws a campaign schedule — deterministic per (engine seed,
+// config). Arm the result with ChaosArm.
+func ChaosPlan(tb *Testbed, cfg ChaosConfig) []FaultScenario { return chaos.Plan(tb.Eng, cfg) }
+
+// ChaosArm schedules a planned campaign on the injector.
+func ChaosArm(inj *FaultInjector, plan []FaultScenario) error { return chaos.Arm(inj, plan) }
+
+// AuditInvariants settles the testbed and checks every system-wide
+// invariant: packet conservation per layer, interrupt and watchdog
+// liveness, and event-pool integrity. Empty means healthy.
+func AuditInvariants(tb *Testbed) []ChaosViolation { return chaos.AuditTestbed(tb) }
+
+// ChaosSoak runs one randomized chaos-soak iteration (what `sriovsim
+// -soak` loops): a storm of every fault kind plus correlated presets,
+// then the invariant audit. Deterministic per seed.
+func ChaosSoak(seed uint64) ChaosSoakResult { return experiments.ChaosSoak(seed) }
+
 // Experiments.
 type (
 	// Experiment is one reproducible paper figure.
@@ -250,11 +280,11 @@ type (
 // Experiments lists every reproduced figure, sorted by id.
 func Experiments() []Experiment { return experiments.All() }
 
-// RunExperiment reproduces one figure by id ("fig06" ... "fig23", "faults").
+// RunExperiment reproduces one figure by id ("fig06" ... "fig25", "faults").
 func RunExperiment(id string) (*Figure, error) {
 	s, ok := experiments.ByID(id)
 	if !ok {
-		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig23 or faults)", id)
+		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig25 or faults)", id)
 	}
 	return s.Run(), nil
 }
