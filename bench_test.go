@@ -106,6 +106,14 @@ func BenchmarkFig21MigrationDNIS(b *testing.B) {
 	benchFigure(b, "fig21", nil)
 }
 
+func BenchmarkFig26NFVPacketSweep(b *testing.B) {
+	benchFigure(b, "fig26", map[string]string{"vhost": "Mbps@1514B", "swpass-loss": "%@1514B"})
+}
+
+func BenchmarkFig27NFVServiceChains(b *testing.B) {
+	benchFigure(b, "fig27", map[string]string{"chain3-p99": "µs@swpass"})
+}
+
 // ---- Ablation benchmarks (DESIGN.md "design choices") ----
 
 // BenchmarkAblationEOIStrategy compares the three EOI emulation strategies

@@ -11,6 +11,8 @@
 //	sriovsim -fig 7 -metrics-out metrics.json  # dump the merged metrics registry
 //	sriovsim -hosts 4                # cluster scale-out sweep with 4 hosts
 //	sriovsim -hosts 4 -links 1000:5:256  # ...with explicit fabric link shape
+//	sriovsim -backend all            # NFV datapath head-to-head (fig26/fig27)
+//	sriovsim -backend vhost,ovs      # ...restricted to the named backends
 //	sriovsim -list                   # list available experiments
 //	sriovsim -alloc-table BENCH.json # per-experiment alloc columns as markdown
 //
@@ -51,6 +53,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Perfetto/Chrome trace-event JSON of a representative run to this file")
 	metricsOut := flag.String("metrics-out", "", "write the run's merged metrics registry as JSON to this file")
 	quiet := flag.Bool("q", false, "suppress per-task progress on stderr")
+	backend := flag.String("backend", "", "run the NFV datapath figures (fig26/fig27) for these comma-separated backends, or `all`")
 	hosts := flag.Int("hosts", 0, "run a cluster scale-out sweep over this many hosts behind the ToR switch")
 	links := flag.String("links", "", "fabric link shape for -hosts as `rateMbps:latencyUs:queueKiB` (0 or empty fields keep defaults)")
 	allocTable := flag.String("alloc-table", "", "print per-experiment allocation columns of this BENCH.json as markdown rows and exit")
@@ -82,6 +85,17 @@ func main() {
 			os.Exit(2)
 		}
 		os.Exit(runSuite(ids, nil, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
+	case *backend != "":
+		kinds := sriov.DatapathBackends()
+		if *backend != "all" {
+			kinds = strings.Split(*backend, ",")
+		}
+		specs, err := sriov.NFVExperiments(kinds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Exit(runSuite(nil, specs, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
 	case *hosts > 0:
 		link, err := parseLinks(*links)
 		if err != nil {

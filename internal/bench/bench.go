@@ -82,6 +82,11 @@ type Totals struct {
 	// or not); MTTRUs sums the chaos figures' fault-recovery latencies (µs).
 	InvariantViolations int64 `json:"invariant_violations"`
 	MTTRUs              int64 `json:"mttr_us"`
+	// DPCacheHits / DPCacheMisses sum the datapath backends' flow-cache
+	// counters (dp.<backend>.cache_hits / cache_misses) — the OVS megaflow
+	// hit ratio the NFV figures depend on.
+	DPCacheHits   int64 `json:"dp_cache_hits"`
+	DPCacheMisses int64 `json:"dp_cache_misses"`
 }
 
 // File is the canonical BENCH.json document.
@@ -137,6 +142,8 @@ func Collect(sum *runner.Summary, packets int64, allocBytes, mallocs uint64) *Fi
 		MigrationDowntimeUs: sum.Obs.Counter("cluster.migration.downtime_us").Value(),
 		InvariantViolations: sum.Obs.Counter("chaos.invariant_violations").Value(),
 		MTTRUs:              sum.Obs.Counter("chaos.mttr_us").Value(),
+		DPCacheHits:         sum.Obs.SumCounters("dp.", ".cache_hits"),
+		DPCacheMisses:       sum.Obs.SumCounters("dp.", ".cache_misses"),
 	}
 	if secs > 0 {
 		f.Totals.EventsPerSec = float64(sum.Events) / secs

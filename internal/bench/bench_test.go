@@ -299,3 +299,51 @@ func TestWriteReadRoundTripAndSchemaCheck(t *testing.T) {
 		t.Fatalf("schema mismatch not rejected: %v", err)
 	}
 }
+
+func TestCompareNewMetricWarnsInsteadOfSilentPass(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Experiments[0].Metrics = append(cur.Experiments[0].Metrics,
+		report.Metric{Series: "loss", Unit: "%", Value: 3})
+	r := Compare(base, cur, CompareOptions{})
+	if r.Failed() {
+		t.Fatalf("new metric must not fail the gate: %s", r)
+	}
+	if len(r.Warnings) != 1 || !strings.Contains(r.Warnings[0], `"loss"`) ||
+		!strings.Contains(r.Warnings[0], "re-recorded") {
+		t.Fatalf("new metric not surfaced as a warning: %s", r)
+	}
+}
+
+func TestCompareNewObsTotalWarnsInsteadOfSilentPass(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Totals.DPCacheHits = 12345
+	r := Compare(base, cur, CompareOptions{})
+	if r.Failed() {
+		t.Fatalf("baseline-less obs total must not fail the gate: %s", r)
+	}
+	if len(r.Warnings) != 1 || !strings.Contains(r.Warnings[0], "dp_cache_hits") {
+		t.Fatalf("baseline-less obs total not surfaced as a warning: %s", r)
+	}
+	// With a recorded baseline it is gated like any deterministic metric.
+	base.Totals.DPCacheHits = 12000
+	r = Compare(base, cur, CompareOptions{})
+	if !r.Failed() || len(r.Regressions) != 1 || !strings.Contains(r.Regressions[0], "dp_cache_hits") {
+		t.Fatalf("recorded dp_cache_hits drift not gated: %s", r)
+	}
+}
+
+func TestCompareNewGoBenchWarnsInsteadOfSilentPass(t *testing.T) {
+	base := baseFile()
+	cur := clone(t, base)
+	cur.GoBench = append(cur.GoBench, GoBenchResult{
+		Name: "BenchmarkFig26-8", N: 5, Metrics: map[string]float64{"ns/op": 2000}})
+	r := Compare(base, cur, CompareOptions{})
+	if r.Failed() {
+		t.Fatalf("new go-bench must not fail the gate: %s", r)
+	}
+	if len(r.Warnings) != 1 || !strings.Contains(r.Warnings[0], "BenchmarkFig26-8") {
+		t.Fatalf("new go-bench not surfaced as a warning: %s", r)
+	}
+}

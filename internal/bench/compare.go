@@ -165,6 +165,15 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 						be.ID, bm.Series, bm.Value, cm.Value, cm.Unit, d, opts.MetricThresholdPct))
 			}
 		}
+		// A metric the baseline never recorded cannot be gated — surface it
+		// instead of silently passing, so the baseline gets re-recorded.
+		for _, cm := range ce.Metrics {
+			if _, ok := be.Metric(cm.Series); !ok {
+				r.Warnings = append(r.Warnings,
+					fmt.Sprintf("%s: metric %q is new (no baseline value — ungated until the baseline is re-recorded)",
+						ce.ID, cm.Series))
+			}
+		}
 	}
 	for _, ce := range cur.Experiments {
 		if _, ok := base.Experiment(ce.ID); !ok {
@@ -205,9 +214,16 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 		{"fabric_drops", base.Totals.FabricDrops, cur.Totals.FabricDrops},
 		{"migration_downtime_us", base.Totals.MigrationDowntimeUs, cur.Totals.MigrationDowntimeUs},
 		{"mttr_us", base.Totals.MTTRUs, cur.Totals.MTTRUs},
+		{"dp_cache_hits", base.Totals.DPCacheHits, cur.Totals.DPCacheHits},
+		{"dp_cache_misses", base.Totals.DPCacheMisses, cur.Totals.DPCacheMisses},
 	}
 	for _, t := range obsTotals {
 		if t.base == 0 {
+			if t.cur != 0 {
+				r.Warnings = append(r.Warnings,
+					fmt.Sprintf("totals: %s = %d but baseline has none (ungated until the baseline is re-recorded)",
+						t.name, t.cur))
+			}
 			continue
 		}
 		if d := pctChange(float64(t.base), float64(t.cur)); math.Abs(d) > opts.MetricThresholdPct {
@@ -259,6 +275,16 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 			if bOK && cOK {
 				allocGate("go-bench "+bg.Name, unit, bv, cv)
 			}
+		}
+	}
+	baseBench := map[string]bool{}
+	for _, g := range base.GoBench {
+		baseBench[g.Name] = true
+	}
+	for _, g := range cur.GoBench {
+		if !baseBench[g.Name] {
+			r.Warnings = append(r.Warnings,
+				fmt.Sprintf("go-bench %s is new (no baseline — ungated until the baseline is re-recorded)", g.Name))
 		}
 	}
 	return r

@@ -1,7 +1,8 @@
 // Package chaos composes seeded randomized fault campaigns on top of the
 // fault injector and audits system-wide invariants once the dust settles:
-// packet conservation through every layer (NIC rings, netback, VMDq, port
-// in-flight accounting), interrupt and watchdog liveness, migration
+// packet conservation through every layer (NIC rings, every software
+// datapath backend via the Datapath interface, port in-flight accounting),
+// interrupt and watchdog liveness, migration
 // termination, and event-pool integrity. A campaign is a pure function of
 // (engine seed, campaign name) — drawn eagerly from a named RNG sub-stream
 // — so a chaos run is exactly as reproducible as any other experiment.
@@ -209,12 +210,21 @@ func checkBed(vs *[]Violation, tb *core.Testbed, prefix string) {
 				fmt.Sprintf("%d packets still in flight after settle", n)})
 		}
 	}
-	if nb := tb.Netback; nb != nil {
-		checkBackend(vs, prefix+"netback", nb.Received, nb.Delivered, nb.Dropped, nb.InFlight())
-	}
-	if br := tb.VMDq; br != nil {
-		checkBackend(vs, prefix+"vmdq", br.Received,
-			br.DeliveredQueued+br.DeliveredFallback, br.Dropped, br.InFlight())
+	// Every software backend — netback, VMDq (and its fallback), vhost,
+	// OVS, software passthrough — answers to the same conservation
+	// identity through the Datapath interface. Creation order keeps the
+	// walk deterministic; a repeated kind (the VMDq fallback is a second
+	// Netback) gets an index suffix so violations name the right instance.
+	seen := make(map[string]int)
+	for _, dp := range tb.Datapaths() {
+		kind := dp.Kind()
+		seen[kind]++
+		where := prefix + kind
+		if seen[kind] > 1 {
+			where = fmt.Sprintf("%s#%d", where, seen[kind])
+		}
+		s := dp.Stats()
+		checkBackend(vs, where, s.Received, s.Delivered, s.Dropped, s.InFlight)
 	}
 	for _, g := range tb.Guests() {
 		if !watchdogCovered(g) {

@@ -111,6 +111,15 @@ type Testbed struct {
 
 	Netback *drivers.Netback
 	VMDq    *drivers.VMDqBridge
+	// Vhost / OVS / SwPass are the lazily built software backends (see
+	// EnableVhost and friends); nil until a guest asks for them.
+	Vhost  *drivers.Vhost
+	OVS    *drivers.OVSSwitch
+	SwPass *drivers.SoftPassthrough
+
+	// datapaths lists every software backend in creation order — the
+	// deterministic sequence audits and figures walk.
+	datapaths []drivers.SoftwareDatapath
 
 	guests  []*Guest
 	nextMAC uint64
@@ -125,6 +134,11 @@ type Guest struct {
 	VF   *drivers.VFDriver
 	PV   *drivers.PVNic
 	Bond *drivers.Bond
+
+	// Backend is the software datapath serving this guest (nil for pure
+	// SR-IOV guests, whose path is the VF hardware). Service chains and
+	// inter-VM senders Inject host-local batches here.
+	Backend drivers.SoftwareDatapath
 
 	// Port the guest's traffic arrives on.
 	Port *nic.Port
@@ -193,10 +207,47 @@ func NewTestbed(cfg Config) *Testbed {
 		tb.PFs = append(tb.PFs, pf)
 	}
 	tb.Netback = drivers.NewNetback(hv, cfg.NetbackThreads)
+	tb.datapaths = append(tb.datapaths, tb.Netback)
 	if cfg.VMDqThreads > 0 {
 		tb.VMDq = drivers.NewVMDqBridge(hv, cfg.VMDqThreads)
+		// The bridge and its copying fallback keep separate books; audit
+		// both.
+		tb.datapaths = append(tb.datapaths, tb.VMDq, tb.VMDq.Fallback())
 	}
 	return tb
+}
+
+// Datapaths reports every software backend in creation order — the stable
+// sequence the invariant audit walks. Hardware (VF) paths are audited
+// through their receive rings instead.
+func (tb *Testbed) Datapaths() []drivers.SoftwareDatapath { return tb.datapaths }
+
+// EnableVhost builds the vhost poll-mode backend (and starts its pegged
+// poll thread) on first use.
+func (tb *Testbed) EnableVhost() *drivers.Vhost {
+	if tb.Vhost == nil {
+		tb.Vhost = drivers.NewVhost(tb.HV)
+		tb.datapaths = append(tb.datapaths, tb.Vhost)
+	}
+	return tb.Vhost
+}
+
+// EnableOVS builds the flow-cache switch backend on first use.
+func (tb *Testbed) EnableOVS() *drivers.OVSSwitch {
+	if tb.OVS == nil {
+		tb.OVS = drivers.NewOVSSwitch(tb.HV)
+		tb.datapaths = append(tb.datapaths, tb.OVS)
+	}
+	return tb.OVS
+}
+
+// EnableSwPass builds the software-passthrough backend on first use.
+func (tb *Testbed) EnableSwPass() *drivers.SoftPassthrough {
+	if tb.SwPass == nil {
+		tb.SwPass = drivers.NewSoftPassthrough(tb.HV)
+		tb.datapaths = append(tb.datapaths, tb.SwPass)
+	}
+	return tb.SwPass
 }
 
 // Config reports the testbed configuration.
@@ -274,6 +325,7 @@ func (tb *Testbed) AddPVGuest(name string, typ vmm.DomainType, k vmm.KernelConfi
 		return nil, err
 	}
 	g.PV = pv
+	g.Backend = tb.Netback
 	tb.Netback.AttachWire(tb.Ports[port].PFQueue())
 	tb.PFs[port].SetDom0MAC(g.MAC)
 	tb.guests = append(tb.guests, g)
@@ -294,10 +346,73 @@ func (tb *Testbed) AddVMDqGuest(name string, typ vmm.DomainType, k vmm.KernelCon
 	if err := tb.VMDq.CreateVif(d, g.MAC, g.Recv); err != nil {
 		return nil, err
 	}
+	g.Backend = tb.VMDq
 	tb.VMDq.AttachWire(tb.Ports[port].PFQueue())
 	tb.PFs[port].SetDom0MAC(g.MAC)
 	tb.guests = append(tb.guests, g)
 	return g, nil
+}
+
+// addSoftwareGuest creates a guest served by the given software backend,
+// routing its MAC to the dom0 PF queue on port.
+func (tb *Testbed) addSoftwareGuest(dp drivers.SoftwareDatapath, name string, typ vmm.DomainType, k vmm.KernelConfig, port int) (*Guest, error) {
+	if port < 0 || port >= len(tb.Ports) {
+		return nil, fmt.Errorf("core: no port %d", port)
+	}
+	d, err := tb.newDomain(name, typ, k)
+	if err != nil {
+		return nil, err
+	}
+	g := &Guest{Dom: d, Recv: guest.NewNetReceiver(tb.HV, d), MAC: tb.allocMAC(), Port: tb.Ports[port]}
+	if err := dp.AddVif(d, g.MAC, g.Recv); err != nil {
+		return nil, err
+	}
+	g.Backend = dp
+	dp.AttachWire(tb.Ports[port].PFQueue())
+	tb.PFs[port].SetDom0MAC(g.MAC)
+	tb.guests = append(tb.guests, g)
+	return g, nil
+}
+
+// AddVhostGuest creates a guest on the vhost poll-mode backend.
+func (tb *Testbed) AddVhostGuest(name string, typ vmm.DomainType, k vmm.KernelConfig, port int) (*Guest, error) {
+	return tb.addSoftwareGuest(tb.EnableVhost(), name, typ, k, port)
+}
+
+// AddOVSGuest creates a guest on the flow-cache switch backend.
+func (tb *Testbed) AddOVSGuest(name string, typ vmm.DomainType, k vmm.KernelConfig, port int) (*Guest, error) {
+	return tb.addSoftwareGuest(tb.EnableOVS(), name, typ, k, port)
+}
+
+// AddSwPassGuest creates a guest on the software-passthrough backend.
+func (tb *Testbed) AddSwPassGuest(name string, typ vmm.DomainType, k vmm.KernelConfig, port int) (*Guest, error) {
+	return tb.addSoftwareGuest(tb.EnableSwPass(), name, typ, k, port)
+}
+
+// BackendKinds lists every datapath backend the testbed can build, in the
+// order the figures sweep them.
+var BackendKinds = []string{"vf", "pv", "vmdq", "vhost", "ovs", "swpass"}
+
+// AddBackendGuest creates a guest on the backend named by kind — the
+// dispatcher behind `sriovsim -backend` and the fig26/fig27 sweeps. vf and
+// policy apply to the "vf" kind only; "vmdq" requires VMDqThreads > 0.
+func (tb *Testbed) AddBackendGuest(kind, name string, typ vmm.DomainType, k vmm.KernelConfig, port, vf int, policy netstack.ITRPolicy) (*Guest, error) {
+	switch kind {
+	case "vf":
+		return tb.AddSRIOVGuest(name, typ, k, port, vf, policy)
+	case "pv":
+		return tb.AddPVGuest(name, typ, k, port)
+	case "vmdq":
+		return tb.AddVMDqGuest(name, typ, k, port)
+	case "vhost":
+		return tb.AddVhostGuest(name, typ, k, port)
+	case "ovs":
+		return tb.AddOVSGuest(name, typ, k, port)
+	case "swpass":
+		return tb.AddSwPassGuest(name, typ, k, port)
+	default:
+		return nil, fmt.Errorf("core: unknown backend kind %q", kind)
+	}
 }
 
 // AddBondedGuest creates a DNIS guest: a VF (active) bonded with a PV NIC
@@ -359,7 +474,14 @@ func (tb *Testbed) ReattachVF(g *Guest, port, vf int, policy netstack.ITRPolicy)
 // Guests without a VF are served by software paths that batch on their own
 // poll interval, so their sources use a coarser tick for simulation speed.
 func (tb *Testbed) StartUDP(g *Guest, rate units.BitRate) {
-	g.Source = workload.NewSource(tb.Eng, rate, model.FrameSize, tb.ingress(g))
+	tb.StartUDPFramed(g, rate, model.FrameSize)
+}
+
+// StartUDPFramed is StartUDP with an explicit frame size — the NFV
+// packet-size sweeps (fig26) offer the same bit rate in anything from
+// 64-byte minimum frames to full MTU.
+func (tb *Testbed) StartUDPFramed(g *Guest, rate units.BitRate, frame units.Size) {
+	g.Source = workload.NewSource(tb.Eng, rate, frame, tb.ingress(g))
 	switch {
 	case g.VF == nil || rate < 400*units.Mbps:
 		// Low-rate streams coalesce at ≤2 kHz anyway; software-batched
@@ -371,7 +493,7 @@ func (tb *Testbed) StartUDP(g *Guest, rate units.BitRate) {
 		// Keep per-tick batches small relative to the socket burst so
 		// generator quantization never masquerades as overflow: aim for
 		// ~8 packets per delivery, bounded to [10 µs, 50 µs].
-		pps := model.PacketsPerSecond(rate, model.FrameSize)
+		pps := model.PacketsPerSecond(rate, frame)
 		tick := units.Duration(8 / pps * float64(units.Second))
 		if tick < 10*units.Microsecond {
 			tick = 10 * units.Microsecond

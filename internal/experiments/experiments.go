@@ -77,10 +77,11 @@ var registry = map[string]Spec{}
 
 func register(s Spec) { registry[s.ID] = s }
 
-// registerPoints registers a decomposed experiment, deriving the serial Run
-// from the points so there is exactly one code path producing figures.
-func registerPoints(id, title string, points []Point, build func([]any) *report.Figure) {
-	register(Spec{
+// pointsSpec assembles a decomposed Spec, deriving the serial Run from the
+// points so there is exactly one code path producing figures. Used both for
+// registered experiments and for ad-hoc restricted specs (NFVSpecs).
+func pointsSpec(id, title string, points []Point, build func([]any) *report.Figure) Spec {
+	return Spec{
 		ID: id, Title: title, Points: points, Build: build,
 		Run: func() *report.Figure {
 			arena := sim.NewArena()
@@ -90,7 +91,12 @@ func registerPoints(id, title string, points []Point, build func([]any) *report.
 			}
 			return build(results)
 		},
-	})
+	}
+}
+
+// registerPoints registers a decomposed experiment.
+func registerPoints(id, title string, points []Point, build func([]any) *report.Figure) {
+	register(pointsSpec(id, title, points, build))
 }
 
 // setObserve attaches an Observe hook to an already-registered experiment.

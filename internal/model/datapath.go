@@ -1,0 +1,141 @@
+package model
+
+import "repro/internal/units"
+
+// ---- Pluggable datapath backends (NFV comparison family) ----
+//
+// The paper benchmarks SR-IOV against Xen's PV split driver and VMDq; the
+// modern successor question is SR-IOV against software datapaths. These
+// constants calibrate the three additional backends behind the Datapath
+// interface: a vhost-style poll-mode shared-ring path, an OVS-style
+// flow-caching software switch, and a software-only passthrough. The
+// emergent fig26/fig27 shapes (who wins at which packet size, who pays
+// dom0, who loses packets in a service chain) are asserted by
+// internal/experiments.
+
+// ---- vhost-style poll-mode shared ring ----
+
+const (
+	// VhostPollInterval is the poll loop granularity of the dom0 poll-mode
+	// thread: every interval it scans all vifs' shared rings and drains
+	// what accumulated. The thread never sleeps — poll mode trades a
+	// dedicated core for interrupt-free completion signalling.
+	VhostPollInterval = 50 * units.Microsecond
+
+	// VhostRingCap is the per-vif shared-ring capacity in packets (a
+	// virtio-class 1024-descriptor ring). Arrivals beyond it drop.
+	VhostRingCap = 1024
+
+	// VhostPerPacketCycles is the poll thread's per-packet ring cost:
+	// descriptor read, virtio header parse, used-ring update.
+	VhostPerPacketCycles units.Cycles = 1400
+
+	// VhostCopyCyclesPerByte is the copy cost into the guest ring. The
+	// poll thread runs hot (the ring pages stay cached), so it sits below
+	// netback's cold-cache wire-path copy.
+	VhostCopyCyclesPerByte = 3.2
+
+	// VhostPerRoundCycles is the fixed cost of one poll round that finds
+	// work: ring scan, batching setup. Idle rounds just burn the interval.
+	VhostPerRoundCycles units.Cycles = 500
+
+	// VhostGuestPollBurst is the guest-side consumption granularity: the
+	// run-to-completion receive loop takes packets in bursts of this size
+	// (a DPDK-style rx burst), paying stack costs but no interrupt costs.
+	VhostGuestPollBurst = 64
+)
+
+// ---- OVS-style flow-caching software switch ----
+
+const (
+	// OVSFlowCacheCapacity bounds the exact-match (megaflow-class) kernel
+	// flow cache; beyond it the least recently used flow is evicted.
+	OVSFlowCacheCapacity = 4096
+
+	// OVSFlowIdleTimeout evicts flows not hit for this long (the datapath
+	// flow idle age-out).
+	OVSFlowIdleTimeout = 10 * units.Millisecond
+
+	// OVSHitPerPacketCycles is the per-packet cost on a cache hit: hash,
+	// exact-match lookup, action execution.
+	OVSHitPerPacketCycles units.Cycles = 1100
+
+	// OVSCopyCyclesPerByte is the delivery copy into the guest ring after
+	// classification.
+	OVSCopyCyclesPerByte = 3.2
+
+	// OVSPerBatchCycles is the fixed per-service-round cost of the kernel
+	// datapath (softirq entry, batch setup).
+	OVSPerBatchCycles units.Cycles = 1200
+
+	// OVSUpcallCycles is dom0's cost of one flow-cache miss: queue to
+	// userspace, full OpenFlow classification in ovs-vswitchd, flow
+	// install back into the kernel cache. Two orders of magnitude above
+	// the hit path — the hit/miss split is the backend's defining cost.
+	OVSUpcallCycles units.Cycles = 120000
+
+	// OVSUpcallLatency is the added latency of a miss: the packet waits
+	// for the userspace round trip before the installed flow forwards it.
+	OVSUpcallLatency = 300 * units.Microsecond
+
+	// OVSThreads sizes the kernel datapath service pool.
+	OVSThreads = 2
+)
+
+// ---- Software-only passthrough ----
+
+const (
+	// SwPassIntrHz is the emulated device's interrupt rate toward the
+	// guest: the rings are guest-mapped, so the only recurring hypervisor
+	// work is injecting the coalesced completion interrupt.
+	SwPassIntrHz = 4000
+
+	// SwPassRingCap is the guest-mapped ring capacity in packets.
+	SwPassRingCap = 1024
+
+	// SwPassPerPacketXenCycles is the hypervisor's per-packet audit cost:
+	// descriptor addresses are validated against the pinned guest region —
+	// the software substitute for IOMMU translation, amortized over the
+	// batch (there is no per-packet dom0 work and no copy).
+	SwPassPerPacketXenCycles units.Cycles = 250
+
+	// SwPassVifSetupCycles is dom0's control-path cost to establish one
+	// vif: map the rings into the guest, pin and audit the buffer pool.
+	// Paid once per vif, never per packet.
+	SwPassVifSetupCycles units.Cycles = 150000
+)
+
+// DatapathCosts is one backend's per-packet cost table: what dom0 (or the
+// poll core) pays to move a packet. Hardware paths (vf) have all-zero
+// tables — the NIC does the moving; their costs are the interrupt-path
+// constants of §5.
+type DatapathCosts struct {
+	// PerPacket is the fixed per-packet handling cost.
+	PerPacket units.Cycles
+	// PerByte is the data-copy cost per byte (0 = zero-copy path).
+	PerByte float64
+	// PerBatch is the fixed cost per service round.
+	PerBatch units.Cycles
+}
+
+// DatapathCostTable reports the calibrated cost table for a backend kind.
+// Unknown kinds report a zero table.
+func DatapathCostTable(kind string) DatapathCosts {
+	switch kind {
+	case "pv":
+		return DatapathCosts{PerPacket: NetbackPerPacketCycles,
+			PerByte: NetbackCopyCyclesPerByte, PerBatch: NetbackPerBatchCycles}
+	case "vmdq":
+		return DatapathCosts{PerPacket: VMDqPerPacketDom0Cycles}
+	case "vhost":
+		return DatapathCosts{PerPacket: VhostPerPacketCycles,
+			PerByte: VhostCopyCyclesPerByte, PerBatch: VhostPerRoundCycles}
+	case "ovs":
+		return DatapathCosts{PerPacket: OVSHitPerPacketCycles,
+			PerByte: OVSCopyCyclesPerByte, PerBatch: OVSPerBatchCycles}
+	case "swpass":
+		return DatapathCosts{PerPacket: SwPassPerPacketXenCycles}
+	default:
+		return DatapathCosts{}
+	}
+}

@@ -280,11 +280,24 @@ type (
 // Experiments lists every reproduced figure, sorted by id.
 func Experiments() []Experiment { return experiments.All() }
 
-// RunExperiment reproduces one figure by id ("fig06" ... "fig25", "faults").
+// RunExperiment reproduces one figure by id ("fig06" ... "fig27", "faults").
 func RunExperiment(id string) (*Figure, error) {
 	s, ok := experiments.ByID(id)
 	if !ok {
-		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig25 or faults)", id)
+		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig27 or faults)", id)
 	}
 	return s.Run(), nil
 }
+
+// DatapathBackends lists the pluggable datapath backend kinds the NFV
+// figures (fig26/fig27) compare head to head: "vf" (SR-IOV), "pv"
+// (netback/netfront), "vhost" (dom0 poll-mode), "ovs" (flow-cache
+// switch), and "swpass" (software passthrough).
+func DatapathBackends() []string { return experiments.NFVBackends() }
+
+// NFVExperiments returns the fig26/fig27 NFV head-to-head figures
+// restricted to the named backend kinds (see DatapathBackends) — what
+// `sriovsim -backend` runs. The restricted specs reuse the full sweep's
+// per-point seeds, so a single-backend run reproduces exactly the numbers
+// that backend shows in the complete figures.
+func NFVExperiments(kinds []string) ([]Experiment, error) { return experiments.NFVSpecs(kinds) }
