@@ -231,6 +231,46 @@ func TestCompareAllocAbsentSideSkipped(t *testing.T) {
 	}
 }
 
+func TestCompareParallelRunSkipsAllocFiguresWithNote(t *testing.T) {
+	// A parallel current run against a serial baseline must announce that
+	// the serial-only alloc figures were skipped — one note for the whole
+	// file, not a silent pass and not per-figure missing-metric noise.
+	base := baseFile()
+	cur := clone(t, base)
+	cur.Parallel = 4
+	for i := range cur.Experiments {
+		cur.Experiments[i].Allocs = 0
+		cur.Experiments[i].AllocBytes = 0
+	}
+	r := Compare(base, cur, CompareOptions{})
+	if r.Failed() || len(r.Improvements) != 0 {
+		t.Fatalf("parallel-run alloc absence produced failures: %s", r)
+	}
+	if len(r.Warnings) != 1 || !strings.Contains(r.Warnings[0], "alloc figures skipped") ||
+		!strings.Contains(r.Warnings[0], "parallel=4") {
+		t.Fatalf("parallel alloc skip not announced: %s", r)
+	}
+
+	// A serial current run (parallel=1) keeps full alloc gating: no note.
+	cur = clone(t, base)
+	cur.Parallel = 1
+	cur.Experiments[0].Allocs = base.Experiments[0].Allocs * 3 / 2
+	r = Compare(base, cur, CompareOptions{})
+	if !r.Failed() || len(r.Warnings) != 0 {
+		t.Fatalf("serial run lost alloc gating: %s", r)
+	}
+
+	// A parallel run that somehow still carries alloc figures is gated,
+	// not skipped — the skip is only for the figures-absent shape.
+	cur = clone(t, base)
+	cur.Parallel = 4
+	cur.Experiments[0].Allocs = base.Experiments[0].Allocs * 3 / 2
+	r = Compare(base, cur, CompareOptions{})
+	if !r.Failed() || len(r.Warnings) != 0 {
+		t.Fatalf("parallel run with alloc figures was not gated: %s", r)
+	}
+}
+
 func TestCompareGoBenchAllocs(t *testing.T) {
 	base := baseFile()
 	cur := clone(t, base)

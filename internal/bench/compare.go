@@ -74,6 +74,17 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// hasExperimentAllocs reports whether any experiment in the file carries
+// per-experiment allocation figures (only serial runs record them).
+func (f *File) hasExperimentAllocs() bool {
+	for _, e := range f.Experiments {
+		if e.Allocs != 0 || e.AllocBytes != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // pctChange reports (cur-base)/base in percent; +Inf when base is zero and
 // cur is not.
 func pctChange(base, cur float64) float64 {
@@ -101,6 +112,18 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 		opts.AllocThresholdPct = DefaultCompareOptions().AllocThresholdPct
 	}
 	r := &Report{}
+	// Per-experiment alloc figures are serial-only: they are recorded at
+	// -parallel 1, where per-task attribution is exact, and stay zero on
+	// parallel runs. Comparing a serial baseline against a parallel current
+	// run therefore finds every alloc figure "missing" — a run-mode
+	// artifact, not a regression. Recognize that shape, note it once, and
+	// skip the per-experiment alloc gates.
+	skipAllocs := cur.Parallel > 1 && base.hasExperimentAllocs() && !cur.hasExperimentAllocs()
+	if skipAllocs {
+		r.Warnings = append(r.Warnings, fmt.Sprintf(
+			"alloc figures skipped: current run is parallel (parallel=%d) and per-experiment allocs are only recorded at -parallel 1; compare a serial run to gate them",
+			cur.Parallel))
+	}
 	// wallRegress routes wall-based regressions to the failing or the
 	// warn-only bucket.
 	wallRegress := func(msg string) {
@@ -151,8 +174,10 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 				fmt.Sprintf("%s: wall %.0fms → %.0fms (%.0f%%)",
 					be.ID, float64(be.WallNS)/1e6, float64(ce.WallNS)/1e6, d))
 		}
-		allocGate(be.ID+": allocs", "allocs", float64(be.Allocs), float64(ce.Allocs))
-		allocGate(be.ID+": alloc bytes", "B", float64(be.AllocBytes), float64(ce.AllocBytes))
+		if !skipAllocs {
+			allocGate(be.ID+": allocs", "allocs", float64(be.Allocs), float64(ce.Allocs))
+			allocGate(be.ID+": alloc bytes", "B", float64(be.AllocBytes), float64(ce.AllocBytes))
+		}
 		for _, bm := range be.Metrics {
 			cm, ok := ce.Metric(bm.Series)
 			if !ok {

@@ -536,3 +536,61 @@ func TestSmallAccessors(t *testing.T) {
 		}
 	}
 }
+
+func TestMMIOTargetApertureAndIndex(t *testing.T) {
+	f, devA, pfA, devB, pfB := buildFabric(t)
+	f.Enumerate()
+	// Host-memory GPAs sit below the MMIO aperture: the quick-reject must
+	// turn them away without consulting the interval index.
+	if _, _, ok := f.MMIOTarget(0x1000); ok {
+		t.Fatal("host-memory address decoded as MMIO")
+	}
+	if _, _, ok := f.MMIOTarget(0); ok {
+		t.Fatal("null address decoded as MMIO")
+	}
+	// Enumerated PFs resolve to the right function and BAR.
+	for _, pf := range []*Function{pfA, pfB} {
+		fn, bar, ok := f.MMIOTarget(pf.BAR(0) + 0x10)
+		if !ok || fn != pf || bar != 0 {
+			t.Fatalf("decode %s BAR0: fn=%v bar=%d ok=%v", pf.Name(), fn, bar, ok)
+		}
+	}
+	// One past the end of the aperture must miss.
+	devA.SetVFsPresent(pfA, 7)
+	devB.SetVFsPresent(pfB, 7)
+	// A VF hot-added after the index was first built must be found: the
+	// new BAR assignment marks the index dirty and the next lookup rebuilds.
+	vf := devA.VFs(pfA)[0]
+	if _, err := f.HotAdd(vf.RID()); err != nil {
+		t.Fatal(err)
+	}
+	fn, bar, ok := f.MMIOTarget(vf.BAR(0) + 0x4)
+	if !ok || fn != vf || bar != 0 {
+		t.Fatalf("decode hot-added VF BAR0: fn=%v bar=%d ok=%v", fn, bar, ok)
+	}
+}
+
+func TestMMIOTargetSurpriseRemoval(t *testing.T) {
+	f, devA, pfA, _, _ := buildFabric(t)
+	f.Enumerate()
+	devA.SetVFsPresent(pfA, 7)
+	vf := devA.VFs(pfA)[0]
+	if _, err := f.HotAdd(vf.RID()); err != nil {
+		t.Fatal(err)
+	}
+	addr := vf.BAR(0) + 0x8
+	if _, _, ok := f.MMIOTarget(addr); !ok {
+		t.Fatal("VF BAR not decoded before removal")
+	}
+	// Surprise removal flips presence but leaves the stale BAR range in the
+	// index; the presence check inside OwnsMMIO must reject the decode.
+	vf.Config().SetPresent(false)
+	if fn, _, ok := f.MMIOTarget(addr); ok {
+		t.Fatalf("removed function %v still claims MMIO", fn)
+	}
+	// Re-insertion restores decode through the same index entry.
+	vf.Config().SetPresent(true)
+	if fn, _, ok := f.MMIOTarget(addr); !ok || fn != vf {
+		t.Fatal("re-present function should decode again")
+	}
+}

@@ -133,6 +133,27 @@ type Fabric struct {
 	iommu     Translator
 	nextMMIO  uint64
 	nextBus   int
+
+	// MMIO decode acceleration. Every DMA is routed through MMIOTarget to
+	// decide host-memory vs peer-MMIO, and almost all of them target host
+	// memory (guest-physical addresses far below the MMIO aperture), so a
+	// linear walk of every function's BARs per transaction dominated the
+	// scalability figures. mmioLo/mmioHi bound the assigned aperture for an
+	// O(1) reject of host-memory addresses; barIndex is the sorted interval
+	// index for addresses inside it, rebuilt lazily after BAR assignment.
+	// Presence is checked at lookup time, so surprise removal (SetPresent)
+	// needs no invalidation; BAR assignment is monotone and BARs are never
+	// reclaimed, so entries are only ever added.
+	mmioLo, mmioHi uint64
+	barIndex       []barRange
+	barDirty       bool
+}
+
+// barRange is one assigned BAR's address interval [lo, hi).
+type barRange struct {
+	lo, hi uint64
+	fn     *Function
+	bar    int
 }
 
 // NewFabric creates an empty fabric. MMIO allocation starts at 0xe0000000.
@@ -141,6 +162,8 @@ func NewFabric() *Fabric {
 		functions: make(map[RID]*Function),
 		nextMMIO:  0xe000_0000,
 		nextBus:   1,
+		mmioLo:    0xe000_0000,
+		mmioHi:    0xe000_0000, // empty aperture until the first BAR assignment
 	}
 }
 
@@ -251,14 +274,51 @@ func (f *Fabric) assignBARs(fn *Function) {
 		addr := (f.nextMMIO + size - 1) &^ (size - 1)
 		fn.AssignBAR(i, addr)
 		f.nextMMIO = addr + size
+		if addr < f.mmioLo {
+			f.mmioLo = addr
+		}
+		if addr+size > f.mmioHi {
+			f.mmioHi = addr + size
+		}
+		f.barDirty = true
 	}
 }
 
-// MMIOTarget finds the function owning an MMIO address.
-func (f *Fabric) MMIOTarget(addr uint64) (*Function, int, bool) {
+// rebuildBARIndex re-derives the sorted interval index from every assigned
+// BAR. BARs come from a monotone non-reclaiming allocator, so intervals
+// never overlap and the owner of an address is unique.
+func (f *Fabric) rebuildBARIndex() {
+	f.barDirty = false
+	f.barIndex = f.barIndex[:0]
 	for _, fn := range f.functions {
-		if bar, ok := fn.OwnsMMIO(addr); ok {
-			return fn, bar, true
+		for i := 0; i < 6; i++ {
+			size := fn.BARSize(i)
+			if size == 0 || fn.BAR(i) == 0 {
+				continue
+			}
+			f.barIndex = append(f.barIndex, barRange{lo: fn.BAR(i), hi: fn.BAR(i) + size, fn: fn, bar: i})
+		}
+	}
+	sort.Slice(f.barIndex, func(i, j int) bool { return f.barIndex[i].lo < f.barIndex[j].lo })
+}
+
+// MMIOTarget finds the function owning an MMIO address. Addresses outside
+// the assigned aperture — every host-memory DMA — reject in O(1); hits
+// binary-search the BAR interval index and then defer to OwnsMMIO, which
+// re-checks bounds and presence, so a surprise-removed function never
+// claims its stale BAR.
+func (f *Fabric) MMIOTarget(addr uint64) (*Function, int, bool) {
+	if addr < f.mmioLo || addr >= f.mmioHi {
+		return nil, 0, false
+	}
+	if f.barDirty {
+		f.rebuildBARIndex()
+	}
+	i := sort.Search(len(f.barIndex), func(i int) bool { return f.barIndex[i].hi > addr })
+	if i < len(f.barIndex) && addr >= f.barIndex[i].lo {
+		r := f.barIndex[i]
+		if bar, ok := r.fn.OwnsMMIO(addr); ok {
+			return r.fn, bar, true
 		}
 	}
 	return nil, 0, false

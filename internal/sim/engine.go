@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sync/atomic"
 
@@ -85,10 +84,24 @@ type Arena struct {
 	// pooled. Zero on every healthy run; the chaos invariant checker gates
 	// on it (pool-integrity invariant).
 	corruptions int64
+	// sched, when not SchedDefault, is the scheduler kind engines created
+	// on this arena use. The arena is the one object that already flows
+	// from the runner's worker loop into every engine a point builds, so it
+	// doubles as the per-worker scheduler selection channel — no globals,
+	// so two differential runs with different kinds can share a process.
+	sched SchedulerKind
 }
 
 // NewArena returns an empty event free list.
 func NewArena() *Arena { return &Arena{} }
+
+// SetScheduler sets the scheduler kind engines created on this arena use
+// (SchedDefault defers to the process-wide default). It only affects engines
+// created afterwards.
+func (a *Arena) SetScheduler(k SchedulerKind) { a.sched = k }
+
+// Scheduler reports the arena's scheduler kind.
+func (a *Arena) Scheduler() SchedulerKind { return a.sched }
 
 // Corruptions reports how many pool-integrity failures (double-recycles,
 // free-list entries not marked pooled) the arena has detected.
@@ -160,9 +173,12 @@ func (h *eventHeap) Pop() any {
 // Engine is the simulation event loop. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+	// sched is the event queue — the binary heap or the timer wheel,
+	// selected at construction; kind records which.
+	sched   scheduler
+	kind    SchedulerKind
 	seed    uint64
 	rng     *RNG
 	streams map[string]*RNG
@@ -190,12 +206,31 @@ func NewEngine(seed uint64) *Engine {
 // NewEngineArena is NewEngine with a caller-supplied event arena, so
 // sequentially-run engines (one experiment point after another on a runner
 // worker) reuse each other's event storage. A nil arena gets a private one.
+// The scheduler kind resolves arena → process default.
 func NewEngineArena(seed uint64, arena *Arena) *Engine {
+	return NewEngineSched(seed, arena, SchedDefault)
+}
+
+// NewEngineSched is NewEngineArena with an explicit scheduler kind.
+// SchedDefault defers to the arena's kind, then the process-wide default.
+func NewEngineSched(seed uint64, arena *Arena, kind SchedulerKind) *Engine {
 	if arena == nil {
 		arena = NewArena()
 	}
-	return &Engine{seed: seed, rng: NewRNG(seed), arena: arena, pooling: true}
+	if kind == SchedDefault {
+		kind = arena.sched
+	}
+	if kind == SchedDefault {
+		kind = DefaultScheduler()
+	}
+	return &Engine{
+		seed: seed, rng: NewRNG(seed), arena: arena, pooling: true,
+		sched: newScheduler(kind), kind: kind,
+	}
 }
+
+// Scheduler reports which event-queue implementation backs this engine.
+func (e *Engine) Scheduler() SchedulerKind { return e.kind }
 
 // Arena exposes the engine's event pool, so integrity checkers can read
 // its corruption counter at quiesce.
@@ -280,7 +315,7 @@ func (e *Engine) At(t Time, name string, fn func()) Handle {
 	ev.name = name
 	ev.fn = fn
 	ev.cancelled = false
-	heap.Push(&e.events, ev)
+	e.sched.schedule(ev)
 	return Handle{ev: ev, gen: ev.gen}
 }
 
@@ -316,18 +351,24 @@ func (e *Engine) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	defer e.flushProcessed()
-	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.when > deadline {
+	for !e.stopped {
+		next := e.sched.peek()
+		if next == nil || next.when > deadline {
 			break
 		}
-		heap.Pop(&e.events)
+		e.sched.pop()
 		if next.cancelled {
 			e.recycle(next)
 			continue
 		}
 		if e.limit > 0 && e.processed >= e.limit {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at %v (next event %q)", e.limit, e.now, next.name))
+			// Recycle before panicking so a recovering test still sees a
+			// consistent pool (the popped event must not leak, and its
+			// handles must go stale), and report the offending event's own
+			// time — e.now still holds the previous event's.
+			when, name := next.when, next.name
+			e.recycle(next)
+			panic(fmt.Sprintf("sim: event limit %d exceeded at %v (event %q)", e.limit, when, name))
 		}
 		e.now = next.when
 		e.processed++
@@ -349,11 +390,11 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // Pending reports the number of scheduled (non-cancelled) events.
 func (e *Engine) Pending() int {
 	n := 0
-	for _, ev := range e.events {
+	e.sched.forEach(func(ev *event) {
 		if !ev.cancelled {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -367,7 +408,11 @@ type Ticker struct {
 	fn     func(Time)
 	tick   func() // created once; re-arming must not allocate a closure
 	handle Handle
-	done   bool
+	// armedAt is when the pending tick's interval began (creation or the
+	// previous firing). SetPeriod measures the already-elapsed portion of
+	// the pending interval against it.
+	armedAt Time
+	done    bool
 }
 
 // NewTicker creates and starts a ticker whose first firing is one period
@@ -391,11 +436,17 @@ func NewTicker(eng *Engine, period Duration, name string, fn func(Time)) *Ticker
 }
 
 func (t *Ticker) arm() {
+	t.armedAt = t.eng.Now()
 	t.handle = t.eng.After(t.period, t.name, t.tick)
 }
 
 // SetPeriod changes the period used for subsequent ticks. If called outside
-// the tick callback it re-arms the pending tick with the new period.
+// the tick callback it retargets the pending tick, crediting the portion of
+// the interval already elapsed: the tick began at armedAt, so under the new
+// period it is due at armedAt+p. The deadline never moves later than
+// originally armed (so repeated retargeting — an ITR policy re-evaluating
+// every few samples — cannot push the next firing out indefinitely) and
+// never into the past (an overdue tick fires now).
 func (t *Ticker) SetPeriod(p Duration) {
 	if p <= 0 {
 		panic("sim: ticker period must be positive")
@@ -403,10 +454,18 @@ func (t *Ticker) SetPeriod(p Duration) {
 	if t.period == p {
 		return
 	}
+	old := t.period
 	t.period = p
 	if t.handle.Pending() {
+		deadline := t.armedAt.Add(p)
+		if prev := t.armedAt.Add(old); prev < deadline {
+			deadline = prev
+		}
+		if now := t.eng.Now(); deadline < now {
+			deadline = now
+		}
 		t.handle.Cancel()
-		t.arm()
+		t.handle = t.eng.At(deadline, t.name, t.tick)
 	}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -156,6 +157,51 @@ func TestEventLimit(t *testing.T) {
 	e.Run()
 }
 
+// TestEventLimitPanicReportsNextAndRecycles pins the satellite bug: the
+// limit panic used to fire before e.now advanced and before the popped
+// event was recycled, so the diagnostic named the *previous* event's time
+// and a recovering test saw the popped event leaked from the pool. The
+// fixed panic names the event that tripped the limit and leaves the arena
+// fully consistent. Times are seconds-scale because Time renders at
+// millisecond precision — ns-scale whens would all print "0.000s" and the
+// message could not discriminate the fix.
+func TestEventLimitPanicReportsNextAndRecycles(t *testing.T) {
+	arena := NewArena()
+	e := NewEngineArena(1, arena)
+	e.SetEventLimit(2)
+	for i := 5; i <= 7; i++ {
+		e.At(Time(i)*Time(units.Second), "ev", func() {})
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("event limit should panic")
+			}
+			msg, ok := r.(string)
+			if !ok {
+				t.Fatalf("panic value %T, want string", r)
+			}
+			// The third event (7s) trips the limit; the pre-fix message
+			// reported the second event's time (6s).
+			if !strings.Contains(msg, "7.000s") {
+				t.Fatalf("panic %q does not name the limit-tripping event's time", msg)
+			}
+		}()
+		e.Run()
+	}()
+	// Recover-and-audit: the popped event must be recycled, not leaked.
+	if got := len(arena.free); got != 3 {
+		t.Fatalf("free list holds %d events after limit panic, want 3", got)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after limit panic, want 0", e.Pending())
+	}
+	if got := arena.Corruptions(); got != 0 {
+		t.Fatalf("arena corruptions = %d after limit panic, want 0", got)
+	}
+}
+
 func TestTicker(t *testing.T) {
 	e := NewEngine(1)
 	var times []Time
@@ -203,14 +249,53 @@ func TestTickerSetPeriod(t *testing.T) {
 }
 
 func TestTickerSetPeriodOutsideCallback(t *testing.T) {
+	// The pending tick was armed at t=0 with period 100. Retargeting to 20
+	// at t=10 must credit the 10 units already elapsed: the next tick is
+	// due at min(0+100, 0+20) = 20, not at Now()+20 = 30.
 	e := NewEngine(1)
 	var times []Time
 	tk := NewTicker(e, 100, "tick", func(now Time) { times = append(times, now) })
 	e.RunUntil(10)
-	tk.SetPeriod(20) // re-arms: next tick at 10+20=30
+	tk.SetPeriod(20)
 	e.RunUntil(55)
 	tk.Stop()
-	want := []Time{30, 50}
+	want := []Time{20, 40}
+	if len(times) != 2 || times[0] != want[0] || times[1] != want[1] {
+		t.Fatalf("ticks %v, want %v", times, want)
+	}
+}
+
+// TestTickerSetPeriodNoStarvation pins the satellite bug: before the fix,
+// SetPeriod outside the callback re-armed with the full new period from
+// Now(), so an ITR-style controller retargeting faster than the period
+// could postpone the tick forever. With elapsed-time credit the deadline
+// is anchored at armedAt and repeated same-period retargets are no-ops.
+func TestTickerSetPeriodNoStarvation(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	tk := NewTicker(e, 50, "itr", func(now Time) { times = append(times, now) })
+	for i := 1; i <= 9; i++ {
+		e.RunUntil(Time(i * 10))
+		tk.SetPeriod(50) // retarget mid-interval, same period
+	}
+	tk.Stop()
+	if len(times) != 1 || times[0] != 50 {
+		t.Fatalf("ticks %v, want a single tick at 50 (starved by retargeting?)", times)
+	}
+}
+
+// TestTickerSetPeriodShrinkToPast covers the clamp: shrinking the period so
+// the credited deadline lands before Now() must fire at Now(), not panic on
+// a past schedule.
+func TestTickerSetPeriodShrinkToPast(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	tk := NewTicker(e, 100, "tick", func(now Time) { times = append(times, now) })
+	e.RunUntil(30)
+	tk.SetPeriod(10) // credited deadline 0+10=10 is in the past → due now
+	e.RunUntil(45)
+	tk.Stop()
+	want := []Time{30, 40}
 	if len(times) != 2 || times[0] != want[0] || times[1] != want[1] {
 		t.Fatalf("ticks %v, want %v", times, want)
 	}

@@ -23,9 +23,9 @@ type fireRec struct {
 // callback schedules another, cancel a random outstanding handle, or run to
 // now+δ. It returns the full trace so the caller can compare pooled vs
 // pool-disabled engines for equivalence.
-func fuzzRun(t *testing.T, data []byte, pooling bool) (trace []fireRec, cancels []bool) {
+func fuzzRun(t *testing.T, data []byte, pooling bool, kind SchedulerKind) (trace []fireRec, cancels []bool) {
 	t.Helper()
-	e := NewEngine(99)
+	e := NewEngineSched(99, nil, kind)
 	e.SetPooling(pooling)
 	e.SetEventLimit(100000)
 
@@ -114,9 +114,11 @@ func fuzzRun(t *testing.T, data []byte, pooling bool) (trace []fireRec, cancels 
 
 // FuzzEngineSchedule fuzzes random Schedule/Cancel/Run interleavings (with
 // callback-time scheduling, which is what exercises recycle-before-fn) and
-// checks the ordering/cancellation/single-fire invariants on both the
-// pooled and the pool-disabled engine, then requires the two to be
-// trace-equivalent: pooling must be invisible.
+// checks the ordering/cancellation/single-fire invariants on every
+// scheduler×pooling combination, then requires all four runs to be
+// trace-equivalent: both pooling and the choice of timer wheel vs binary
+// heap must be invisible. This is the per-interleaving wheel≡heap
+// differential gate.
 func FuzzEngineSchedule(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 5, 0, 5, 3, 10})
@@ -125,13 +127,28 @@ func FuzzEngineSchedule(f *testing.F) {
 	f.Add([]byte{1, 7, 3, 20, 1, 3, 2, 1, 3, 63})
 	f.Add([]byte{0, 31, 1, 15, 2, 2, 3, 5, 0, 0, 2, 0, 3, 63, 1, 1, 3, 63})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		pooled, pc := fuzzRun(t, data, true)
-		plain, uc := fuzzRun(t, data, false)
-		if fmt.Sprint(pooled) != fmt.Sprint(plain) {
-			t.Fatalf("pooled and pool-disabled traces diverge:\npooled: %v\nplain:  %v", pooled, plain)
+		type variant struct {
+			label   string
+			pooling bool
+			kind    SchedulerKind
 		}
-		if fmt.Sprint(pc) != fmt.Sprint(uc) {
-			t.Fatalf("cancel outcomes diverge: %v vs %v", pc, uc)
+		variants := []variant{
+			{"wheel/pooled", true, SchedWheel},
+			{"wheel/plain", false, SchedWheel},
+			{"heap/pooled", true, SchedHeap},
+			{"heap/plain", false, SchedHeap},
+		}
+		refTrace, refCancels := fuzzRun(t, data, variants[0].pooling, variants[0].kind)
+		for _, v := range variants[1:] {
+			trace, cancels := fuzzRun(t, data, v.pooling, v.kind)
+			if fmt.Sprint(trace) != fmt.Sprint(refTrace) {
+				t.Fatalf("traces diverge between %s and %s:\n%s: %v\n%s: %v",
+					variants[0].label, v.label, variants[0].label, refTrace, v.label, trace)
+			}
+			if fmt.Sprint(cancels) != fmt.Sprint(refCancels) {
+				t.Fatalf("cancel outcomes diverge between %s and %s: %v vs %v",
+					variants[0].label, v.label, refCancels, cancels)
+			}
 		}
 	})
 }

@@ -98,14 +98,12 @@ func TestStopDuringRunPoolConsistency(t *testing.T) {
 			t.Fatalf("handle %d pending = %v, want %v", i, h.Pending(), want)
 		}
 	}
-	// No recycled event may still sit in the heap.
-	inHeap := map[*event]bool{}
-	for _, ev := range e.events {
-		inHeap[ev] = true
-	}
+	// No recycled event may still sit in the scheduler.
+	inSched := map[*event]bool{}
+	e.sched.forEach(func(ev *event) { inSched[ev] = true })
 	for _, ev := range arena.free {
-		if inHeap[ev] {
-			t.Fatal("recycled event still referenced by the heap")
+		if inSched[ev] {
+			t.Fatal("recycled event still referenced by the scheduler")
 		}
 	}
 	e.Run()
