@@ -16,39 +16,62 @@
 // -wall-warn-only demotes only the wall-clock regressions to warnings while
 // deterministic metric drift still fails — the blocking mode for noisy shared
 // CI runners. -alloc-warn-only does the same for allocation regressions.
+//
+// Exit status: 0 clean, 1 regression, 2 usage error or unreadable/malformed
+// input (a truncated or corrupt BENCH.json names the file and the parse
+// problem — it never panics, so CI sees a diagnosis instead of a stack trace).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	threshold := flag.Float64("threshold", 0, "allowed wall-clock slowdown in percent (0 = default 25)")
-	metricThreshold := flag.Float64("metric-threshold", 0, "allowed headline-metric drift in percent (0 = default 0.1)")
-	allocThreshold := flag.Float64("alloc-threshold", 0, "allowed allocation growth in percent (0 = default 10)")
-	warnOnly := flag.Bool("warn-only", false, "report regressions but exit zero")
-	wallWarnOnly := flag.Bool("wall-warn-only", false, "demote wall-clock regressions to warnings; deterministic metrics still fail")
-	allocWarnOnly := flag.Bool("alloc-warn-only", false, "demote allocation regressions to warnings")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] base.json new.json")
-		flag.PrintDefaults()
-		os.Exit(2)
+// run is main() behind a testable seam. The recover guard turns any panic —
+// e.g. an unexpected shape that slips past the decoder — into the same exit
+// 2 + message contract that malformed input gets.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(stderr, "benchdiff: internal error: %v\n", p)
+			code = 2
+		}
+	}()
+
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0, "allowed wall-clock slowdown in percent (0 = default 25)")
+	metricThreshold := fs.Float64("metric-threshold", 0, "allowed headline-metric drift in percent (0 = default 0.1)")
+	allocThreshold := fs.Float64("alloc-threshold", 0, "allowed allocation growth in percent (0 = default 10)")
+	warnOnly := fs.Bool("warn-only", false, "report regressions but exit zero")
+	wallWarnOnly := fs.Bool("wall-warn-only", false, "demote wall-clock regressions to warnings; deterministic metrics still fail")
+	allocWarnOnly := fs.Bool("alloc-warn-only", false, "demote allocation regressions to warnings")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	base, err := bench.Read(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] base.json new.json")
+		fs.PrintDefaults()
+		return 2
 	}
-	cur, err := bench.Read(flag.Arg(1))
+	base, err := bench.Read(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: baseline: %v\n", err)
+		return 2
+	}
+	cur, err := bench.Read(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: candidate: %v\n", err)
+		return 2
 	}
 
 	r := bench.Compare(base, cur, bench.CompareOptions{
@@ -58,14 +81,15 @@ func main() {
 		WallWarnOnly:       *wallWarnOnly,
 		AllocWarnOnly:      *allocWarnOnly,
 	})
-	fmt.Printf("base: %s\nnew:  %s\n\n%s", base.Summary(), cur.Summary(), r)
+	fmt.Fprintf(stdout, "base: %s\nnew:  %s\n\n%s", base.Summary(), cur.Summary(), r)
 	if r.Failed() {
 		if *warnOnly {
-			fmt.Println("\nbenchdiff: regressions found (warn-only, not failing)")
-			return
+			fmt.Fprintln(stdout, "\nbenchdiff: regressions found (warn-only, not failing)")
+			return 0
 		}
-		fmt.Println("\nbenchdiff: FAIL")
-		os.Exit(1)
+		fmt.Fprintln(stdout, "\nbenchdiff: FAIL")
+		return 1
 	}
-	fmt.Println("benchdiff: OK")
+	fmt.Fprintln(stdout, "benchdiff: OK")
+	return 0
 }

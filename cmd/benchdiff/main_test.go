@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goodBench writes a minimal valid BENCH.json and returns its path.
+func goodBench(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "good.json")
+	doc := `{"schema": 1, "parallel": 1, "experiments": [], "totals": {"wall_ns": 1}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestCorruptInputExitsTwoWithMessage pins the CI contract for damaged
+// BENCH.json files: exit 2 (not 1 — a broken artifact is not a perf
+// regression) and a message naming the offending file and what is wrong,
+// with no panic, whichever side of the diff is corrupt.
+func TestCorruptInputExitsTwoWithMessage(t *testing.T) {
+	good := goodBench(t)
+	cases := []struct {
+		name    string
+		fixture string
+		want    []string
+	}{
+		{"truncated", "testdata/truncated.json", []string{"truncated.json", "unexpected end of JSON input"}},
+		{"garbage", "testdata/garbage.json", []string{"garbage.json", "invalid character"}},
+		{"bad-schema", "testdata/badschema.json", []string{"badschema.json", "schema 99, want 1"}},
+		{"missing", "testdata/does-not-exist.json", []string{"does-not-exist.json"}},
+	}
+	for _, tc := range cases {
+		for _, side := range []string{"baseline", "candidate"} {
+			t.Run(tc.name+"/"+side, func(t *testing.T) {
+				args := []string{tc.fixture, good}
+				if side == "candidate" {
+					args = []string{good, tc.fixture}
+				}
+				code, _, stderr := runDiff(t, args...)
+				if code != 2 {
+					t.Fatalf("exit %d, want 2; stderr %q", code, stderr)
+				}
+				if !strings.Contains(stderr, side+":") {
+					t.Errorf("stderr %q does not say which side (%s) is broken", stderr, side)
+				}
+				for _, frag := range tc.want {
+					if !strings.Contains(stderr, frag) {
+						t.Errorf("stderr %q missing %q", stderr, frag)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestUsageExitsTwo(t *testing.T) {
+	if code, _, stderr := runDiff(t, "only-one.json"); code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Fatalf("exit %d, stderr %q; want 2 + usage", code, stderr)
+	}
+}
+
+// TestIdenticalFilesPass sanity-checks the happy path through run().
+func TestIdenticalFilesPass(t *testing.T) {
+	good := goodBench(t)
+	code, stdout, stderr := runDiff(t, good, good)
+	if code != 0 || !strings.Contains(stdout, "benchdiff: OK") {
+		t.Fatalf("exit %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+}
+
+// TestCommittedBaselineDiffsClean keeps the repo's own BENCH files honest:
+// the committed baseline must diff cleanly against the committed record
+// through the same code path CI uses.
+func TestCommittedBaselineDiffsClean(t *testing.T) {
+	base, cur := "../../BENCH_baseline.json", "../../BENCH.json"
+	if _, err := os.Stat(base); err != nil {
+		t.Skip("no committed baseline")
+	}
+	code, stdout, stderr := runDiff(t, "-wall-warn-only", "-alloc-warn-only", base, cur)
+	if code != 0 {
+		t.Fatalf("committed BENCH files diff dirty: exit %d\n%s\n%s", code, stdout, stderr)
+	}
+}

@@ -1,0 +1,328 @@
+// Command sriovctl is the client for the control-plane scenario API that
+// `sriovsim -serve` exposes.
+//
+// Usage:
+//
+//	sriovctl [-addr http://localhost:8080] [-seed N] <command> [args]
+//
+//	sriovctl play scenario.json      # one-shot: run the scenario, print the report
+//	sriovctl register scenario.json  # store a scenario under its name
+//	sriovctl scenarios               # list stored scenarios
+//	sriovctl start <name|file>       # start a run without driving it
+//	sriovctl status [runID]          # run status (all runs without an id)
+//	sriovctl step <runID> <ms>       # advance a run by ms of simulated time
+//	sriovctl vm <runID> spec.json    # add a VM to a running fleet
+//	sriovctl fault <runID> spec.json # schedule a fault on a running fleet
+//	sriovctl finish <runID>          # drive to the horizon and print the report
+//	sriovctl stop <runID>            # finish immediately and print the report
+//	sriovctl report <runID>          # print a finished run's report
+//	sriovctl metrics <runID>         # dump a run's metrics registry
+//	sriovctl schema                  # print the scenario JSON schema
+//
+// Reports are the server's bytes verbatim: the same scenario and seed
+// reproduce them byte-identically, matching the in-process API.
+//
+// Exit status: 0 on success, 1 when the server rejects the request, 2 on
+// usage or transport errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main() behind a testable seam: parse flags, dispatch the
+// subcommand, return the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sriovctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the sriovsim -serve API")
+	seed := fs.Uint64("seed", 0, "seed override for play/start (0 keeps the scenario's)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	c := &client{base: *addr, seed: *seed, stdout: stdout, stderr: stderr}
+
+	cmd, rest := fs.Arg(0), fs.Args()
+	if len(rest) > 0 {
+		rest = rest[1:]
+	}
+	var err error
+	switch cmd {
+	case "play":
+		err = c.play(rest)
+	case "register":
+		err = c.register(rest)
+	case "scenarios":
+		err = c.get("/api/v1/scenarios")
+	case "start":
+		err = c.start(rest)
+	case "status":
+		err = c.status(rest)
+	case "step":
+		err = c.step(rest)
+	case "vm":
+		err = c.postSpec(rest, "vms", "vm")
+	case "fault":
+		err = c.postSpec(rest, "faults", "fault")
+	case "finish":
+		err = c.finishAndReport(rest, "run")
+	case "stop":
+		err = c.finishAndReport(rest, "stop")
+	case "report":
+		err = c.runGet(rest, "report")
+	case "metrics":
+		err = c.runGet(rest, "metrics")
+	case "schema":
+		err = c.get("/api/v1/schema")
+	case "":
+		fmt.Fprintln(stderr, "sriovctl: no command (want play, register, scenarios, start, status, step, vm, fault, finish, stop, report, metrics or schema)")
+		fs.Usage()
+		return 2
+	default:
+		fmt.Fprintf(stderr, "sriovctl: unknown command %q (want play, register, scenarios, start, status, step, vm, fault, finish, stop, report, metrics or schema)\n", cmd)
+		return 2
+	}
+	switch err {
+	case nil:
+		return 0
+	case errUsage:
+		return 2
+	default:
+		fmt.Fprintf(stderr, "sriovctl: %v\n", err)
+		if _, ok := err.(*apiError); ok {
+			return 1
+		}
+		return 2
+	}
+}
+
+var errUsage = fmt.Errorf("usage")
+
+// apiError is a non-2xx response: the server spoke, the request was wrong.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("%s (HTTP %d)", e.msg, e.code) }
+
+type client struct {
+	base   string
+	seed   uint64
+	stdout io.Writer
+	stderr io.Writer
+}
+
+// call performs one request and returns the body; non-2xx decodes the
+// server's {"error": ...} envelope into an apiError.
+func (c *client) call(method, path string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var env struct {
+			Error string `json:"error"`
+		}
+		msg := string(bytes.TrimSpace(data))
+		if json.Unmarshal(data, &env) == nil && env.Error != "" {
+			msg = env.Error
+		}
+		return nil, &apiError{code: resp.StatusCode, msg: msg}
+	}
+	return data, nil
+}
+
+// print forwards a JSON body to stdout, normalizing the trailing newline.
+func (c *client) print(data []byte) {
+	data = bytes.TrimRight(data, "\n")
+	fmt.Fprintf(c.stdout, "%s\n", data)
+}
+
+func (c *client) get(path string) error {
+	data, err := c.call(http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	c.print(data)
+	return nil
+}
+
+// startBody builds the POST /runs request from a scenario argument: a
+// readable file becomes an inline scenario, anything else a stored name.
+func (c *client) startBody(arg string) ([]byte, error) {
+	req := map[string]any{}
+	if c.seed != 0 {
+		req["seed"] = c.seed
+	}
+	if data, err := os.ReadFile(arg); err == nil {
+		var inline json.RawMessage = data
+		req["inline"] = inline
+	} else {
+		req["scenario"] = arg
+	}
+	return json.Marshal(req)
+}
+
+// play runs a scenario end to end: start, drive to the horizon, print the
+// report — the one-shot path the CI smoke job exercises.
+func (c *client) play(args []string) error {
+	if len(args) != 1 {
+		fmt.Fprintln(c.stderr, "usage: sriovctl play <scenario.json|name>")
+		return errUsage
+	}
+	body, err := c.startBody(args[0])
+	if err != nil {
+		return err
+	}
+	data, err := c.call(http.MethodPost, "/api/v1/runs", body)
+	if err != nil {
+		return err
+	}
+	var status struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &status); err != nil || status.ID == "" {
+		return fmt.Errorf("run start: bad status %q", data)
+	}
+	fmt.Fprintf(c.stderr, "run %s started\n", status.ID)
+	if _, err := c.call(http.MethodPost, "/api/v1/runs/"+status.ID+"/run", []byte("{}")); err != nil {
+		return err
+	}
+	rep, err := c.call(http.MethodGet, "/api/v1/runs/"+status.ID+"/report", nil)
+	if err != nil {
+		return err
+	}
+	c.print(rep)
+	return nil
+}
+
+func (c *client) register(args []string) error {
+	if len(args) != 1 {
+		fmt.Fprintln(c.stderr, "usage: sriovctl register <scenario.json>")
+		return errUsage
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	out, err := c.call(http.MethodPost, "/api/v1/scenarios", data)
+	if err != nil {
+		return err
+	}
+	c.print(out)
+	return nil
+}
+
+func (c *client) start(args []string) error {
+	if len(args) != 1 {
+		fmt.Fprintln(c.stderr, "usage: sriovctl start <scenario.json|name>")
+		return errUsage
+	}
+	body, err := c.startBody(args[0])
+	if err != nil {
+		return err
+	}
+	data, err := c.call(http.MethodPost, "/api/v1/runs", body)
+	if err != nil {
+		return err
+	}
+	c.print(data)
+	return nil
+}
+
+func (c *client) status(args []string) error {
+	switch len(args) {
+	case 0:
+		return c.get("/api/v1/runs")
+	case 1:
+		return c.get("/api/v1/runs/" + args[0])
+	}
+	fmt.Fprintln(c.stderr, "usage: sriovctl status [runID]")
+	return errUsage
+}
+
+func (c *client) step(args []string) error {
+	if len(args) != 2 {
+		fmt.Fprintln(c.stderr, "usage: sriovctl step <runID> <ms>")
+		return errUsage
+	}
+	n, err := strconv.Atoi(args[1])
+	if err != nil || n <= 0 {
+		fmt.Fprintf(c.stderr, "sriovctl step: ms must be a positive integer, got %q\n", args[1])
+		return errUsage
+	}
+	body, _ := json.Marshal(map[string]int{"ms": n})
+	data, err := c.call(http.MethodPost, "/api/v1/runs/"+args[0]+"/step", body)
+	if err != nil {
+		return err
+	}
+	c.print(data)
+	return nil
+}
+
+// postSpec sends a VMSpec or FaultSpec file to a running fleet.
+func (c *client) postSpec(args []string, sub, what string) error {
+	if len(args) != 2 {
+		fmt.Fprintf(c.stderr, "usage: sriovctl %s <runID> <spec.json>\n", what)
+		return errUsage
+	}
+	data, err := os.ReadFile(args[1])
+	if err != nil {
+		return err
+	}
+	out, err := c.call(http.MethodPost, "/api/v1/runs/"+args[0]+"/"+sub, data)
+	if err != nil {
+		return err
+	}
+	c.print(out)
+	return nil
+}
+
+// finishAndReport ends a run (sub "run" drives to the horizon first, sub
+// "stop" finishes where it stands) and prints the report.
+func (c *client) finishAndReport(args []string, sub string) error {
+	if len(args) != 1 {
+		fmt.Fprintf(c.stderr, "usage: sriovctl %s <runID>\n", map[string]string{"run": "finish", "stop": "stop"}[sub])
+		return errUsage
+	}
+	if _, err := c.call(http.MethodPost, "/api/v1/runs/"+args[0]+"/"+sub, []byte("{}")); err != nil {
+		return err
+	}
+	return c.get("/api/v1/runs/" + args[0] + "/report")
+}
+
+func (c *client) runGet(args []string, sub string) error {
+	if len(args) != 1 {
+		fmt.Fprintf(c.stderr, "usage: sriovctl %s <runID>\n", sub)
+		return errUsage
+	}
+	return c.get("/api/v1/runs/" + args[0] + "/" + sub)
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ctlplane"
+)
+
+const smokeScenario = `{
+  "schema": 1,
+  "name": "smoke",
+  "hosts": 2,
+  "vfs_per_port": 2,
+  "policy": "spread",
+  "warmup_ms": 100,
+  "run_ms": 500,
+  "vms": [
+    {"name": "vm0", "host": 0, "rate_mbps": 100}
+  ]
+}
+`
+
+// harness boots an in-process API server and returns a run function that
+// invokes the CLI against it.
+func harness(t *testing.T) (runCLI func(args ...string) (code int, stdout, stderr string), scenarioPath string) {
+	t.Helper()
+	ts := httptest.NewServer(ctlplane.NewServer().Handler())
+	t.Cleanup(ts.Close)
+	scenarioPath = filepath.Join(t.TempDir(), "smoke.json")
+	if err := os.WriteFile(scenarioPath, []byte(smokeScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runCLI = func(args ...string) (int, string, string) {
+		var out, errb bytes.Buffer
+		code := run(append([]string{"-addr", ts.URL}, args...), &out, &errb)
+		return code, out.String(), errb.String()
+	}
+	return runCLI, scenarioPath
+}
+
+func TestPlayPrintsReport(t *testing.T) {
+	runCLI, scenario := harness(t)
+	code, out, errb := runCLI("play", scenario)
+	if code != 0 {
+		t.Fatalf("play: exit %d, stderr %q", code, errb)
+	}
+	var rep struct {
+		Scenario   string `json:"scenario"`
+		Placements []any  `json:"placements"`
+		Violations []any  `json:"violations"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("play output is not a report: %v\n%s", err, out)
+	}
+	if rep.Scenario != "smoke" || len(rep.Placements) != 1 {
+		t.Fatalf("report: scenario=%q placements=%d, want smoke/1", rep.Scenario, len(rep.Placements))
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("report has violations: %v", rep.Violations)
+	}
+}
+
+func TestPlayReplaysByteIdentically(t *testing.T) {
+	runCLI, scenario := harness(t)
+	_, first, _ := runCLI("-seed", "7", "play", scenario)
+	_, second, _ := runCLI("-seed", "7", "play", scenario)
+	if first != second {
+		t.Fatalf("same scenario+seed, different reports:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestRegisterStartLifecycle(t *testing.T) {
+	runCLI, scenario := harness(t)
+	if code, _, errb := runCLI("register", scenario); code != 0 {
+		t.Fatalf("register: exit %d, stderr %q", code, errb)
+	}
+	code, out, _ := runCLI("scenarios")
+	if code != 0 || !strings.Contains(out, `"smoke"`) {
+		t.Fatalf("scenarios: exit %d, out %q", code, out)
+	}
+	// Start by stored name, step, then stop and collect the report.
+	code, out, errb := runCLI("start", "smoke")
+	if code != 0 {
+		t.Fatalf("start: exit %d, stderr %q", code, errb)
+	}
+	var status struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(out), &status); err != nil || status.ID == "" {
+		t.Fatalf("start output: %q", out)
+	}
+	if code, out, _ = runCLI("step", status.ID, "200"); code != 0 || !strings.Contains(out, `"now_ms": 200`) {
+		t.Fatalf("step: exit %d, out %q", code, out)
+	}
+	// report before finish must fail against the server (exit 1), not crash.
+	if code, _, errb = runCLI("report", status.ID); code != 1 || !strings.Contains(errb, "not finished") {
+		t.Fatalf("early report: exit %d, stderr %q", code, errb)
+	}
+	if code, out, _ = runCLI("stop", status.ID); code != 0 || !strings.Contains(out, `"scenario": "smoke"`) {
+		t.Fatalf("stop: exit %d, out %q", code, out)
+	}
+}
+
+func TestUsageAndErrorExitCodes(t *testing.T) {
+	runCLI, _ := harness(t)
+	cases := []struct {
+		args []string
+		code int
+	}{
+		{[]string{}, 2},                     // no command
+		{[]string{"frobnicate"}, 2},         // unknown command
+		{[]string{"play"}, 2},               // missing argument
+		{[]string{"step", "r1", "zero"}, 2}, // bad ms
+		{[]string{"status", "r99"}, 1},      // server-side 404
+		{[]string{"start", "nosuch"}, 1},    // unknown stored scenario
+	}
+	for _, tc := range cases {
+		if code, _, _ := runCLI(tc.args...); code != tc.code {
+			t.Errorf("%v: exit %d, want %d", tc.args, code, tc.code)
+		}
+	}
+}

@@ -7,28 +7,38 @@ import (
 	sriov "repro"
 )
 
-// chaosIDs maps the -chaos selector to experiment ids.
+// chaosIDs maps the -chaos selector to experiment ids. fig28/fig29 (the
+// control-plane placement and reconcile figures) ride in the chaos batch
+// because they exercise the same fault-injection and audit machinery.
 func chaosIDs(sel string) ([]string, error) {
 	switch sel {
 	case "fig24", "24":
 		return []string{"fig24"}, nil
 	case "fig25", "25":
 		return []string{"fig25"}, nil
+	case "fig28", "28":
+		return []string{"fig28"}, nil
+	case "fig29", "29":
+		return []string{"fig29"}, nil
 	case "all":
-		return []string{"fig24", "fig25"}, nil
+		return []string{"fig24", "fig25", "fig28", "fig29"}, nil
 	}
-	return nil, fmt.Errorf("-chaos: want fig24, fig25 or all, got %q", sel)
+	return nil, fmt.Errorf("-chaos: want fig24, fig25, fig28, fig29 or all, got %q", sel)
 }
 
 // runSoak loops n chaos-soak iterations over consecutive seeds, printing one
 // line per seed, and fails if any iteration leaves an invariant violated or
 // a fault unrecovered. This is the CI soak job's entry point: each iteration
 // is a fresh randomized fault storm (plus the correlated FLR-during-retry
-// preset) followed by the full system-wide invariant audit.
+// preset) followed by the full system-wide invariant audit, and then a
+// control-plane soak — a healing reconciler under a mixed fault schedule
+// with the controller-state audit (no orphaned VFs, no double placements,
+// reconcile termination) layered on top.
 func runSoak(base uint64, n int, quiet bool) int {
 	bad := 0
 	for i := 0; i < n; i++ {
-		r := sriov.ChaosSoak(base + uint64(i))
+		seed := base + uint64(i)
+		r := sriov.ChaosSoak(seed)
 		ok := len(r.Violations) == 0 && r.Unrecovered == 0
 		if !ok {
 			bad++
@@ -44,11 +54,28 @@ func runSoak(base uint64, n int, quiet bool) int {
 		for _, v := range r.Violations {
 			fmt.Fprintf(os.Stderr, "  seed %d: %s\n", r.Seed, v)
 		}
+
+		c := sriov.CtlSoak(seed)
+		cok := len(c.Violations) == 0 && c.Unrecovered == 0
+		if !cok {
+			bad++
+		}
+		if !quiet || !cok {
+			status := "ok"
+			if !cok {
+				status = "FAIL"
+			}
+			fmt.Printf("ctl  seed=%-6d churn=%-3d heals=%-3d unrecovered=%d avail=%.3f violations=%d  %s\n",
+				c.Seed, c.Churn, c.Heals, c.Unrecovered, c.Availability, len(c.Violations), status)
+		}
+		for _, v := range c.Violations {
+			fmt.Fprintf(os.Stderr, "  ctl seed %d: %s\n", c.Seed, v)
+		}
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "soak: %d/%d iterations failed\n", bad, n)
+		fmt.Fprintf(os.Stderr, "soak: %d/%d iterations failed\n", bad, 2*n)
 		return 1
 	}
-	fmt.Printf("soak: %d iterations clean (seeds %d..%d)\n", n, base, base+uint64(n)-1)
+	fmt.Printf("soak: %d iterations clean (seeds %d..%d, chaos + ctlplane)\n", n, base, base+uint64(n)-1)
 	return 0
 }

@@ -16,6 +16,8 @@
 //	sriovsim -list                   # list available experiments
 //	sriovsim -alloc-table BENCH.json # per-experiment alloc columns as markdown
 //	sriovsim -all -sched heap        # run on the binary-heap scheduler fallback
+//	sriovsim -serve :8080            # control-plane REST/JSON scenario API
+//	sriovsim -chaos all              # chaos + control-plane figure batch
 //
 // Output is byte-identical at any -parallel value: experiments shard into
 // independent series points, each simulated on its own deterministically
@@ -64,6 +66,7 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 1, "base seed for -soak iterations")
 	soak := flag.Int("soak", 0, "run this many chaos-soak iterations (seeds chaos-seed..chaos-seed+N-1); exit nonzero on any invariant violation")
 	sched := flag.String("sched", "wheel", "event scheduler backend: wheel (timer wheel, default) or heap (binary heap)")
+	serve := flag.String("serve", "", "serve the control-plane REST/JSON scenario API on this address (e.g. :8080)")
 	flag.Parse()
 
 	kind, err := sim.ParseSchedulerKind(*sched)
@@ -77,6 +80,11 @@ func main() {
 	sim.SetDefaultScheduler(kind)
 
 	switch {
+	case *serve != "":
+		if err := runServe(*serve); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	case *allocTable != "":
 		if err := printAllocTable(*allocTable); err != nil {
 			fmt.Fprintln(os.Stderr, err)

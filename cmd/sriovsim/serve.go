@@ -1,0 +1,23 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	sriov "repro"
+)
+
+// runServe boots the control-plane REST/JSON scenario server and blocks.
+// The listen line goes to stderr once the socket is bound, so scripts (and
+// the CI smoke job) can poll /healthz instead of sleeping.
+func runServe(addr string) error {
+	srv := sriov.NewCtlServer()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-serve: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "serve: control-plane API listening on %s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}

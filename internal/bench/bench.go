@@ -87,6 +87,11 @@ type Totals struct {
 	// hit ratio the NFV figures depend on.
 	DPCacheHits   int64 `json:"dp_cache_hits"`
 	DPCacheMisses int64 `json:"dp_cache_misses"`
+	// PlacementChurn counts control-plane policy migrations across the
+	// ctlplane experiment family; CtlP99DowntimeUs sums their p99 migration
+	// downtime (µs) — the controller's headline costs.
+	PlacementChurn   int64 `json:"placement_churn"`
+	CtlP99DowntimeUs int64 `json:"ctl_p99_downtime_us"`
 }
 
 // File is the canonical BENCH.json document.
@@ -144,6 +149,8 @@ func Collect(sum *runner.Summary, packets int64, allocBytes, mallocs uint64) *Fi
 		MTTRUs:              sum.Obs.Counter("chaos.mttr_us").Value(),
 		DPCacheHits:         sum.Obs.SumCounters("dp.", ".cache_hits"),
 		DPCacheMisses:       sum.Obs.SumCounters("dp.", ".cache_misses"),
+		PlacementChurn:      sum.Obs.Counter("ctl.placement_churn").Value(),
+		CtlP99DowntimeUs:    sum.Obs.Counter("ctl.p99_downtime_us").Value(),
 	}
 	if secs > 0 {
 		f.Totals.EventsPerSec = float64(sum.Events) / secs

@@ -241,6 +241,8 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 		{"mttr_us", base.Totals.MTTRUs, cur.Totals.MTTRUs},
 		{"dp_cache_hits", base.Totals.DPCacheHits, cur.Totals.DPCacheHits},
 		{"dp_cache_misses", base.Totals.DPCacheMisses, cur.Totals.DPCacheMisses},
+		{"placement_churn", base.Totals.PlacementChurn, cur.Totals.PlacementChurn},
+		{"ctl_p99_downtime_us", base.Totals.CtlP99DowntimeUs, cur.Totals.CtlP99DowntimeUs},
 	}
 	for _, t := range obsTotals {
 		if t.base == 0 {

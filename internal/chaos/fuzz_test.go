@@ -17,12 +17,14 @@ import (
 // twice to prove determinism, validates every scenario, then arms and
 // runs it on a real testbed and audits the invariants. The encoding is
 // deliberately hand-writable so the committed corpus stays readable:
-//   [0:8]  seed (little-endian)
-//   [8]    ports        → clamped to 1..4
-//   [9]    VFs per port → clamped to 0..7
-//   [10:12] storm-window end, ms (little-endian) → clamped to 1..500
-//   [12]   storm rate ×10 (faults/s)             → clamped to 0..99
-//   [13]   cascade probability ×100              → clamped to 0..100
+//
+//	[0:8]  seed (little-endian)
+//	[8]    ports        → clamped to 1..4
+//	[9]    VFs per port → clamped to 0..7
+//	[10:12] storm-window end, ms (little-endian) → clamped to 1..500
+//	[12]   storm rate ×10 (faults/s)             → clamped to 0..99
+//	[13]   cascade probability ×100              → clamped to 0..100
+//
 // Short inputs fall back to defaults for the missing tail.
 func FuzzChaosCampaign(f *testing.F) {
 	f.Add([]byte{})

@@ -179,6 +179,14 @@ func (h *Host) Connect(g *core.Guest) {
 	h.announce(g.Port, g.MAC)
 }
 
+// Claims reports whether the host's dispatch table routes frames for mac —
+// the placement ground truth a control plane audits its books against (a
+// migrated MAC must be claimed by exactly one host).
+func (h *Host) Claims(mac nic.MAC) bool {
+	_, ok := h.sinks[mac]
+	return ok
+}
+
 // deliverGuest hands a fabric frame to the guest's wire entry: through the
 // bond when present (DNIS guests), else straight to its MAC on its port.
 // The doorbell stamp survives, so the receive-side path histograms include

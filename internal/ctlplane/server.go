@@ -1,0 +1,429 @@
+package ctlplane
+
+import (
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// SchemaJSON is the committed scenario schema served at /api/v1/schema —
+// the wire contract clients validate against before POSTing.
+//
+//go:embed schema.json
+var SchemaJSON []byte
+
+// maxBodyBytes bounds request bodies; scenarios are small.
+const maxBodyBytes = 1 << 20
+
+// Server is the REST/JSON scenario API over the control plane. It owns a
+// registry of named scenarios and of runs; the simulator itself is
+// single-threaded, so every touch of a run's engine goes through that
+// run's lock — concurrent API clients serialize per run, not globally.
+//
+// Routes (all JSON):
+//
+//	GET    /healthz                     liveness
+//	GET    /api/v1/schema               committed scenario JSON schema
+//	GET    /api/v1/scenarios            scenario names
+//	POST   /api/v1/scenarios            store a scenario (body = scenario JSON)
+//	GET    /api/v1/scenarios/{name}     canonical encoding
+//	DELETE /api/v1/scenarios/{name}
+//	GET    /api/v1/runs                 run statuses
+//	POST   /api/v1/runs                 start a run {"scenario":..., "seed":...} or {"inline":{...}}
+//	GET    /api/v1/runs/{id}            status
+//	POST   /api/v1/runs/{id}/step       {"ms": n} advance the sim clock
+//	POST   /api/v1/runs/{id}/run        drive to the horizon and finish
+//	POST   /api/v1/runs/{id}/stop       finish now, wherever the clock is
+//	POST   /api/v1/runs/{id}/vms        add a VM to the running fleet (body = vm spec)
+//	POST   /api/v1/runs/{id}/faults     inject a fault (body = fault spec)
+//	GET    /api/v1/runs/{id}/report     the frozen report (409 until finished)
+//	GET    /api/v1/runs/{id}/metrics    full registry dump
+type Server struct {
+	mu        sync.Mutex
+	scenarios map[string]*Scenario
+	runs      map[string]*serverRun
+	nextRun   int
+}
+
+// serverRun pairs a Run with the lock that serializes all engine access.
+type serverRun struct {
+	mu  sync.Mutex
+	id  string
+	run *Run
+}
+
+// NewServer returns an empty scenario server.
+func NewServer() *Server {
+	return &Server{scenarios: make(map[string]*Scenario), runs: make(map[string]*serverRun)}
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /api/v1/schema", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(SchemaJSON)
+	})
+	mux.HandleFunc("GET /api/v1/scenarios", s.listScenarios)
+	mux.HandleFunc("POST /api/v1/scenarios", s.putScenario)
+	mux.HandleFunc("GET /api/v1/scenarios/{name}", s.getScenario)
+	mux.HandleFunc("DELETE /api/v1/scenarios/{name}", s.deleteScenario)
+	mux.HandleFunc("GET /api/v1/runs", s.listRuns)
+	mux.HandleFunc("POST /api/v1/runs", s.startRun)
+	mux.HandleFunc("GET /api/v1/runs/{id}", s.runStatus)
+	mux.HandleFunc("POST /api/v1/runs/{id}/step", s.stepRun)
+	mux.HandleFunc("POST /api/v1/runs/{id}/run", s.driveRun)
+	mux.HandleFunc("POST /api/v1/runs/{id}/stop", s.stopRun)
+	mux.HandleFunc("POST /api/v1/runs/{id}/vms", s.addRunVM)
+	mux.HandleFunc("POST /api/v1/runs/{id}/faults", s.addRunFault)
+	mux.HandleFunc("GET /api/v1/runs/{id}/report", s.runReport)
+	mux.HandleFunc("GET /api/v1/runs/{id}/metrics", s.runMetrics)
+	// A simulator panic (bad parameters that slipped past validation) must
+	// surface as a JSON 500, not a dropped connection.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				httpError(w, http.StatusInternalServerError, "internal error: %v", p)
+			}
+		}()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// httpError is the uniform error envelope.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	return data, true
+}
+
+func (s *Server) listScenarios(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.scenarios))
+	for name := range s.scenarios {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": names})
+}
+
+func (s *Server) putScenario(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	sc, err := DecodeScenario(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if sc.Name == "" {
+		httpError(w, http.StatusBadRequest, "scenario needs a name to be stored")
+		return
+	}
+	s.mu.Lock()
+	s.scenarios[sc.Name] = sc
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{"name": sc.Name})
+}
+
+func (s *Server) scenario(name string) *Scenario {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scenarios[name]
+}
+
+func (s *Server) getScenario(w http.ResponseWriter, r *http.Request) {
+	sc := s.scenario(r.PathValue("name"))
+	if sc == nil {
+		httpError(w, http.StatusNotFound, "no scenario %q", r.PathValue("name"))
+		return
+	}
+	data, err := EncodeScenario(sc)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) deleteScenario(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.scenarios[name]
+	delete(s.scenarios, name)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no scenario %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// startRunRequest selects the scenario for a new run: by stored name or
+// inline, with an optional seed override.
+type startRunRequest struct {
+	Scenario string    `json:"scenario,omitempty"`
+	Inline   *Scenario `json:"inline,omitempty"`
+	Seed     uint64    `json:"seed,omitempty"`
+}
+
+func (s *Server) startRun(w http.ResponseWriter, r *http.Request) {
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req startRunRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "run request: %v", err)
+		return
+	}
+	var sc *Scenario
+	switch {
+	case req.Inline != nil && req.Scenario != "":
+		httpError(w, http.StatusBadRequest, "give either a scenario name or an inline scenario, not both")
+		return
+	case req.Inline != nil:
+		sc = req.Inline
+	case req.Scenario != "":
+		if sc = s.scenario(req.Scenario); sc == nil {
+			httpError(w, http.StatusNotFound, "no scenario %q", req.Scenario)
+			return
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "run request needs a scenario name or an inline scenario")
+		return
+	}
+	run, err := NewRun(sc, req.Seed, nil, nil)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.nextRun++
+	sr := &serverRun{id: fmt.Sprintf("r%d", s.nextRun), run: run}
+	s.runs[sr.id] = sr
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, sr.status())
+}
+
+func (s *Server) lookupRun(w http.ResponseWriter, r *http.Request) *serverRun {
+	s.mu.Lock()
+	sr := s.runs[r.PathValue("id")]
+	s.mu.Unlock()
+	if sr == nil {
+		httpError(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
+	}
+	return sr
+}
+
+// runStatusView is the status document for one run.
+type runStatusView struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	NowMs    int64  `json:"now_ms"`
+	Done     bool   `json:"done"`
+	Finished bool   `json:"finished"`
+}
+
+// status snapshots the run under its lock.
+func (sr *serverRun) status() runStatusView {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return runStatusView{
+		ID:       sr.id,
+		Scenario: sr.run.Scenario.Name,
+		Seed:     sr.run.Seed,
+		NowMs:    int64(sr.run.Now() / units.Millisecond),
+		Done:     sr.run.Done(),
+		Finished: sr.run.report != nil,
+	}
+}
+
+func (s *Server) listRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.runs))
+	for id := range s.runs {
+		ids = append(ids, id)
+	}
+	srs := make([]*serverRun, 0, len(ids))
+	sort.Strings(ids)
+	for _, id := range ids {
+		srs = append(srs, s.runs[id])
+	}
+	s.mu.Unlock()
+	out := make([]runStatusView, 0, len(srs))
+	for _, sr := range srs {
+		out = append(out, sr.status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+func (s *Server) runStatus(w http.ResponseWriter, r *http.Request) {
+	sr := s.lookupRun(w, r)
+	if sr == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, sr.status())
+}
+
+func (s *Server) stepRun(w http.ResponseWriter, r *http.Request) {
+	sr := s.lookupRun(w, r)
+	if sr == nil {
+		return
+	}
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Ms int `json:"ms"`
+	}
+	if err := json.Unmarshal(data, &req); err != nil || req.Ms <= 0 {
+		httpError(w, http.StatusBadRequest, `step wants {"ms": n} with n > 0`)
+		return
+	}
+	sr.mu.Lock()
+	sr.run.Step(ms(req.Ms))
+	sr.mu.Unlock()
+	writeJSON(w, http.StatusOK, sr.status())
+}
+
+func (s *Server) driveRun(w http.ResponseWriter, r *http.Request) {
+	sr := s.lookupRun(w, r)
+	if sr == nil {
+		return
+	}
+	sr.mu.Lock()
+	sr.run.Step(sr.run.Remaining())
+	sr.run.Finish()
+	sr.mu.Unlock()
+	writeJSON(w, http.StatusOK, sr.status())
+}
+
+func (s *Server) stopRun(w http.ResponseWriter, r *http.Request) {
+	sr := s.lookupRun(w, r)
+	if sr == nil {
+		return
+	}
+	sr.mu.Lock()
+	sr.run.Finish()
+	sr.mu.Unlock()
+	writeJSON(w, http.StatusOK, sr.status())
+}
+
+func (s *Server) addRunVM(w http.ResponseWriter, r *http.Request) {
+	sr := s.lookupRun(w, r)
+	if sr == nil {
+		return
+	}
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var spec VMSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "vm spec: %v", err)
+		return
+	}
+	sr.mu.Lock()
+	err := sr.run.AddVM(spec)
+	sr.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"vm": spec.Name})
+}
+
+func (s *Server) addRunFault(w http.ResponseWriter, r *http.Request) {
+	sr := s.lookupRun(w, r)
+	if sr == nil {
+		return
+	}
+	data, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var spec FaultSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "fault spec: %v", err)
+		return
+	}
+	sr.mu.Lock()
+	err := sr.run.InjectFault(spec)
+	sr.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"kind": spec.Kind})
+}
+
+func (s *Server) runReport(w http.ResponseWriter, r *http.Request) {
+	sr := s.lookupRun(w, r)
+	if sr == nil {
+		return
+	}
+	sr.mu.Lock()
+	rep := sr.run.report
+	sr.mu.Unlock()
+	if rep == nil {
+		httpError(w, http.StatusConflict, "run %s not finished; POST .../run or .../stop first", sr.id)
+		return
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) runMetrics(w http.ResponseWriter, r *http.Request) {
+	sr := s.lookupRun(w, r)
+	if sr == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.run.reg.WriteJSON(w)
+}

@@ -1,0 +1,249 @@
+package ctlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(NewServer().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body []byte, wantCode int) []byte {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s = %d, want %d\n%s", method, url, resp.StatusCode, wantCode, out.Bytes())
+	}
+	return out.Bytes()
+}
+
+func TestServerScenarioCRUD(t *testing.T) {
+	ts := newTestServer(t)
+	enc, err := EncodeScenario(goldenScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, "GET", ts.URL+"/healthz", nil, 200)
+
+	// Schema endpoint serves the committed contract.
+	schema := doJSON(t, "GET", ts.URL+"/api/v1/schema", nil, 200)
+	if !json.Valid(schema) || !bytes.Contains(schema, []byte("rate_mbps")) {
+		t.Fatalf("schema endpoint returned %.80s...", schema)
+	}
+
+	doJSON(t, "POST", ts.URL+"/api/v1/scenarios", enc, 201)
+	got := doJSON(t, "GET", ts.URL+"/api/v1/scenarios/golden", nil, 200)
+	if !bytes.Equal(got, enc) {
+		t.Fatalf("stored scenario drifted:\n%s\nvs\n%s", got, enc)
+	}
+	list := doJSON(t, "GET", ts.URL+"/api/v1/scenarios", nil, 200)
+	if !bytes.Contains(list, []byte(`"golden"`)) {
+		t.Fatalf("list = %s", list)
+	}
+	// Invalid scenario is rejected with the validator's message.
+	bad := doJSON(t, "POST", ts.URL+"/api/v1/scenarios", []byte(`{"schema":1,"name":"x","vms":[]}`), 400)
+	if !bytes.Contains(bad, []byte("no vms")) {
+		t.Fatalf("bad-scenario error = %s", bad)
+	}
+	doJSON(t, "DELETE", ts.URL+"/api/v1/scenarios/golden", nil, 204)
+	doJSON(t, "GET", ts.URL+"/api/v1/scenarios/golden", nil, 404)
+	doJSON(t, "DELETE", ts.URL+"/api/v1/scenarios/golden", nil, 404)
+}
+
+func TestServerRunLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	sc := baseScenario()
+	enc, err := EncodeScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, "POST", ts.URL+"/api/v1/scenarios", enc, 201)
+
+	// Report before finishing is a conflict, not an empty document.
+	created := doJSON(t, "POST", ts.URL+"/api/v1/runs", []byte(`{"scenario":"base"}`), 201)
+	var st runStatusView
+	if err := json.Unmarshal(created, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Done || st.Finished {
+		t.Fatalf("fresh run status = %+v", st)
+	}
+	doJSON(t, "GET", ts.URL+"/api/v1/runs/"+st.ID+"/report", nil, 409)
+
+	// Step partway, mutate mid-run, then drive to the horizon.
+	doJSON(t, "POST", ts.URL+"/api/v1/runs/"+st.ID+"/step", []byte(`{"ms":400}`), 200)
+	doJSON(t, "POST", ts.URL+"/api/v1/runs/"+st.ID+"/vms",
+		[]byte(`{"name":"vm2","host":1,"rate_mbps":100}`), 201)
+	doJSON(t, "POST", ts.URL+"/api/v1/runs/"+st.ID+"/faults",
+		[]byte(`{"at_ms":700,"kind":"device-reset","host":0}`), 201)
+	final := doJSON(t, "POST", ts.URL+"/api/v1/runs/"+st.ID+"/run", nil, 200)
+	if err := json.Unmarshal(final, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || !st.Finished {
+		t.Fatalf("post-run status = %+v", st)
+	}
+
+	repBytes := doJSON(t, "GET", ts.URL+"/api/v1/runs/"+st.ID+"/report", nil, 200)
+	var rep Report
+	if err := json.Unmarshal(repBytes, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Placements) != 3 {
+		t.Fatalf("placements = %+v, want 3 VMs", rep.Placements)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	// Mutating a finished run is refused.
+	doJSON(t, "POST", ts.URL+"/api/v1/runs/"+st.ID+"/vms",
+		[]byte(`{"name":"late","host":0,"rate_mbps":50}`), 409)
+
+	metrics := doJSON(t, "GET", ts.URL+"/api/v1/runs/"+st.ID+"/metrics", nil, 200)
+	if !bytes.Contains(metrics, []byte("ctl.reconciles")) {
+		t.Fatalf("metrics dump missing controller counters: %.120s...", metrics)
+	}
+
+	// Unknown run and bad step bodies are client errors.
+	doJSON(t, "GET", ts.URL+"/api/v1/runs/r999", nil, 404)
+	doJSON(t, "POST", ts.URL+"/api/v1/runs/"+st.ID+"/step", []byte(`{"ms":-5}`), 400)
+	doJSON(t, "POST", ts.URL+"/api/v1/runs", []byte(`{}`), 400)
+	doJSON(t, "POST", ts.URL+"/api/v1/runs", []byte(`{"scenario":"nope"}`), 404)
+}
+
+// TestServerRunReplayMatchesInProcess pins the REST path to the in-process
+// path: the same (scenario, seed) must produce the identical report bytes
+// whether run through RunScenario or through the HTTP API.
+func TestServerRunReplayMatchesInProcess(t *testing.T) {
+	ts := newTestServer(t)
+	sc := baseScenario()
+	sc.Policy = "spread"
+	sc.RunMs = 2000
+	want, err := RunScenario(sc, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := json.Marshal(startRunRequest{Inline: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	created := doJSON(t, "POST", ts.URL+"/api/v1/runs", body, 201)
+	var st runStatusView
+	if err := json.Unmarshal(created, &st); err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, "POST", ts.URL+"/api/v1/runs/"+st.ID+"/run", nil, 200)
+	got := doJSON(t, "GET", ts.URL+"/api/v1/runs/"+st.ID+"/report", nil, 200)
+	if !bytes.Equal(got, wantBytes) {
+		t.Fatalf("REST report diverged from in-process report:\n--- http\n%s\n--- in-process\n%s", got, wantBytes)
+	}
+}
+
+// TestServerConcurrentMutation hammers one running fleet from many
+// goroutines — steps, VM adds, fault injections, status and metrics reads —
+// and relies on the race detector to catch unserialized engine access.
+func TestServerConcurrentMutation(t *testing.T) {
+	ts := newTestServer(t)
+	sc := baseScenario()
+	sc.Heal = true
+	sc.PortsPerHost = 4 // 32 slots per host: room for the worker VMs the mutators add
+	sc.RunMs = 30000    // long horizon; stop explicitly at the end
+	enc, err := EncodeScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doJSON(t, "POST", ts.URL+"/api/v1/scenarios", enc, 201)
+	created := doJSON(t, "POST", ts.URL+"/api/v1/runs", []byte(`{"scenario":"base"}`), 201)
+	var st runStatusView
+	if err := json.Unmarshal(created, &st); err != nil {
+		t.Fatal(err)
+	}
+	base := ts.URL + "/api/v1/runs/" + st.ID
+
+	post := func(path string, body string) int {
+		req, err := http.NewRequest("POST", base+path, strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(3)
+		i := i
+		go func() { // stepper
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				post("/step", `{"ms":100}`)
+			}
+		}()
+		go func() { // mutator
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				post("/vms", fmt.Sprintf(`{"name":"w%d-%d","host":%d,"rate_mbps":20}`, i, j, i%2))
+				post("/faults", fmt.Sprintf(`{"at_ms":%d,"kind":"device-reset","host":%d}`, 100*j, i%2))
+			}
+		}()
+		go func() { // reader
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				resp, err := http.Get(base)
+				if err == nil {
+					resp.Body.Close()
+				}
+				resp, err = http.Get(base + "/metrics")
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	doJSON(t, "POST", base+"/stop", nil, 200)
+	repBytes := doJSON(t, "GET", base+"/report", nil, 200)
+	var rep Report
+	if err := json.Unmarshal(repBytes, &rep); err != nil {
+		t.Fatal(err)
+	}
+	// 2 base VMs + 20 workers, all surviving the storm with coherent books.
+	if len(rep.Placements) != 22 {
+		t.Fatalf("placements = %d, want 22", len(rep.Placements))
+	}
+	for _, v := range rep.Violations {
+		if !strings.Contains(v, "slo-recovery") { // mid-storm stop may cut a recovery short
+			t.Fatalf("violation after concurrent mutation: %v", rep.Violations)
+		}
+	}
+}

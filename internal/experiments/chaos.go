@@ -35,11 +35,11 @@ const (
 	fig24Spacing  = 2500 * units.Millisecond
 	fig24Horizon  = 12 * units.Second
 
-	fig25Hosts  = 2
-	fig25VMs    = 2
-	stormStart  = 500 * units.Millisecond
-	stormEnd    = 6 * units.Second
-	stormTail   = 1500 * units.Millisecond // recovery room after the last injection
+	fig25Hosts = 2
+	fig25VMs   = 2
+	stormStart = 500 * units.Millisecond
+	stormEnd   = 6 * units.Second
+	stormTail  = 1500 * units.Millisecond // recovery room after the last injection
 )
 
 var stormRates = []float64{0, 0.5, 2, 8} // faults per second per host

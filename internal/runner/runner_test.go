@@ -144,6 +144,52 @@ func TestClusterFiguresDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestCtlFiguresDeterministicAcrossParallelism pins the control-plane
+// experiment family (fig28 placement policies, fig29 reconcile-under-chaos)
+// at -parallel 1/4/8: byte-identical markdown, byte-identical CSV (the
+// artifact EXPERIMENTS.md publishes), and byte-identical merged metrics
+// registries — the source of the BENCH placement_churn /
+// ctl_p99_downtime_us totals.
+func TestCtlFiguresDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("control-plane figures are slow; covered unabridged in the full run")
+	}
+	ids := []string{"fig28", "fig29"}
+	levels := []int{1, 4, 8}
+	var md, csv, reg []string
+	for _, p := range levels {
+		s, err := RunIDs(ids, Options{Parallel: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		md = append(md, suiteMarkdown(t, s))
+		var c strings.Builder
+		for _, r := range s.Results {
+			c.WriteString(r.Figure.CSV())
+		}
+		csv = append(csv, c.String())
+		var buf bytes.Buffer
+		if err := s.Obs.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		reg = append(reg, buf.String())
+	}
+	for i := 1; i < len(md); i++ {
+		if md[i] != md[0] {
+			t.Fatalf("control-plane figures differ between -parallel 1 and -parallel %d:\n%s",
+				levels[i], firstDiffLine(md[0], md[i]))
+		}
+		if csv[i] != csv[0] {
+			t.Fatalf("control-plane CSVs differ between -parallel 1 and -parallel %d:\n%s",
+				levels[i], firstDiffLine(csv[0], csv[i]))
+		}
+		if reg[i] != reg[0] {
+			t.Fatalf("merged control-plane metrics differ between -parallel 1 and -parallel %d",
+				levels[i])
+		}
+	}
+}
+
 func firstDiffLine(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
 	for i := 0; i < len(al) && i < len(bl); i++ {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/ctlplane"
 	"repro/internal/drivers"
 	"repro/internal/experiments"
 	"repro/internal/fault"
@@ -268,6 +269,55 @@ func AuditInvariants(tb *Testbed) []ChaosViolation { return chaos.AuditTestbed(t
 // then the invariant audit. Deterministic per seed.
 func ChaosSoak(seed uint64) ChaosSoakResult { return experiments.ChaosSoak(seed) }
 
+// Control plane: fleet-level VF management above the cluster fabric — a
+// reconciler that places VMs under pluggable policies, heals them through
+// faults via rebond/re-slot/DNIS migration, and reports placements with an
+// audited book of record. Scenarios are a committed JSON schema
+// (CtlSchemaJSON); the same scenario+seed pair replays byte-identically,
+// in process or over the REST server.
+type (
+	// CtlScenario is a declarative control-plane scenario (fleet shape,
+	// policy, VMs, fault schedule).
+	CtlScenario = ctlplane.Scenario
+	// CtlVMSpec describes one VM of a scenario.
+	CtlVMSpec = ctlplane.VMSpec
+	// CtlFaultSpec schedules one fault of a scenario.
+	CtlFaultSpec = ctlplane.FaultSpec
+	// CtlReport is a finished run's canonical JSON report.
+	CtlReport = ctlplane.Report
+	// CtlRun is a stepwise control-plane run accepting mid-run mutation.
+	CtlRun = ctlplane.Run
+	// CtlServer is the REST/JSON scenario server (`sriovsim -serve`).
+	CtlServer = ctlplane.Server
+	// CtlSoakResult summarizes one controller-soak iteration.
+	CtlSoakResult = experiments.CtlSoakResult
+)
+
+// CtlSchemaJSON is the committed JSON-Schema document for CtlScenario.
+var CtlSchemaJSON = ctlplane.SchemaJSON
+
+// DecodeCtlScenario parses and validates a scenario JSON document.
+func DecodeCtlScenario(data []byte) (*CtlScenario, error) { return ctlplane.DecodeScenario(data) }
+
+// EncodeCtlScenario renders a scenario in its canonical encoding.
+func EncodeCtlScenario(sc *CtlScenario) ([]byte, error) { return ctlplane.EncodeScenario(sc) }
+
+// RunCtlScenario drives a scenario to its horizon and returns the report.
+// Deterministic per (scenario, seed): the report's Encode() bytes are
+// identical across runs, runner parallelism, and the REST server.
+func RunCtlScenario(sc *CtlScenario, seed uint64) (*CtlReport, error) {
+	return ctlplane.RunScenario(sc, seed, nil, nil)
+}
+
+// NewCtlServer creates the REST/JSON scenario server; mount Handler().
+func NewCtlServer() *CtlServer { return ctlplane.NewServer() }
+
+// CtlSoak runs one controller chaos iteration (the control-plane leg of
+// `sriovsim -soak`): a healing spread fleet under a mixed fault schedule,
+// then the cluster audit plus the controller-state audit. Deterministic
+// per seed.
+func CtlSoak(seed uint64) CtlSoakResult { return experiments.CtlSoak(seed) }
+
 // Experiments.
 type (
 	// Experiment is one reproducible paper figure.
@@ -280,11 +330,11 @@ type (
 // Experiments lists every reproduced figure, sorted by id.
 func Experiments() []Experiment { return experiments.All() }
 
-// RunExperiment reproduces one figure by id ("fig06" ... "fig27", "faults").
+// RunExperiment reproduces one figure by id ("fig06" ... "fig29", "faults").
 func RunExperiment(id string) (*Figure, error) {
 	s, ok := experiments.ByID(id)
 	if !ok {
-		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig27 or faults)", id)
+		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig29 or faults)", id)
 	}
 	return s.Run(), nil
 }
