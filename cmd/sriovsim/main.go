@@ -11,6 +11,8 @@
 //	sriovsim -fig 7 -metrics-out metrics.json  # dump the merged metrics registry
 //	sriovsim -hosts 4                # cluster scale-out sweep with 4 hosts
 //	sriovsim -hosts 4 -links 1000:5:256  # ...with explicit fabric link shape
+//	sriovsim -clos 256               # leaf–spine Clos ring over 256 hosts
+//	sriovsim -clos 256:10 -fastpath off  # ...10 VMs/host, packet-level only
 //	sriovsim -backend all            # NFV datapath head-to-head (fig26/fig27)
 //	sriovsim -backend vhost,ovs      # ...restricted to the named backends
 //	sriovsim -list                   # list available experiments
@@ -60,6 +62,8 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-task progress on stderr")
 	backend := flag.String("backend", "", "run the NFV datapath figures (fig26/fig27) for these comma-separated backends, or `all`")
 	hosts := flag.Int("hosts", 0, "run a cluster scale-out sweep over this many hosts behind the ToR switch")
+	clos := flag.String("clos", "", "run a leaf–spine Clos ring over `hosts[:vmsPerHost]` (e.g. 256 or 256:10)")
+	fastpath := flag.String("fastpath", "auto", "Clos flow fast-path mode for -clos: auto, on, or off")
 	links := flag.String("links", "", "fabric link shape for -hosts as `rateMbps:latencyUs:queueKiB` (0 or empty fields keep defaults)")
 	allocTable := flag.String("alloc-table", "", "print per-experiment allocation columns of this BENCH.json as markdown rows and exit")
 	chaosFig := flag.String("chaos", "", "run the chaos figures: fig24, fig25, or all")
@@ -118,6 +122,19 @@ func main() {
 			os.Exit(2)
 		}
 		os.Exit(runSuite(nil, specs, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
+	case *clos != "":
+		closHosts, vms, err := parseClos(*clos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		mode, err := sriov.ParseFastpathMode(*fastpath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		spec := sriov.ClosRingExperiment(closHosts, vms, mode)
+		os.Exit(runSuite(nil, []sriov.Experiment{spec}, *parallel, *csv, *quiet, *benchOut, *goBench, *profile, *traceOut, *metricsOut))
 	case *hosts > 0:
 		link, err := parseLinks(*links)
 		if err != nil {
@@ -309,6 +326,27 @@ func writeTrace(path string, ids []string) error {
 		return obs.WriteChromeTrace(f, tr.Events(), spans.Spans())
 	}
 	return fmt.Errorf("trace-out: no selected experiment has an observe hook (try -fig 7)")
+}
+
+// parseClos decodes the -clos value "hosts[:vmsPerHost]" (default 10
+// VMs/host, the fig31 ring load).
+func parseClos(s string) (hosts, vms int, err error) {
+	vms = 10
+	parts := strings.Split(s, ":")
+	if len(parts) > 2 {
+		return 0, 0, fmt.Errorf("-clos: want hosts[:vmsPerHost], got %q", s)
+	}
+	hosts, err = strconv.Atoi(parts[0])
+	if err != nil || hosts < 1 {
+		return 0, 0, fmt.Errorf("-clos: bad host count %q", parts[0])
+	}
+	if len(parts) == 2 {
+		vms, err = strconv.Atoi(parts[1])
+		if err != nil || vms < 1 {
+			return 0, 0, fmt.Errorf("-clos: bad VMs-per-host %q", parts[1])
+		}
+	}
+	return hosts, vms, nil
 }
 
 // parseLinks decodes the -links value "rateMbps:latencyUs:queueKiB".

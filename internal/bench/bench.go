@@ -92,6 +92,11 @@ type Totals struct {
 	// downtime (µs) — the controller's headline costs.
 	PlacementChurn   int64 `json:"placement_churn"`
 	CtlP99DowntimeUs int64 `json:"ctl_p99_downtime_us"`
+	// ClosDrops sums the leaf–spine fabric's per-tier tail drops;
+	// FastpathDemotions counts fluid→packet fast-path transitions — both
+	// from the Clos experiment family (fig30/fig31).
+	ClosDrops         int64 `json:"clos_drops"`
+	FastpathDemotions int64 `json:"fastpath_demotions"`
 }
 
 // File is the canonical BENCH.json document.
@@ -151,6 +156,8 @@ func Collect(sum *runner.Summary, packets int64, allocBytes, mallocs uint64) *Fi
 		DPCacheMisses:       sum.Obs.SumCounters("dp.", ".cache_misses"),
 		PlacementChurn:      sum.Obs.Counter("ctl.placement_churn").Value(),
 		CtlP99DowntimeUs:    sum.Obs.Counter("ctl.p99_downtime_us").Value(),
+		ClosDrops:           sum.Obs.SumCounters("cluster.clos.tier.", ".dropped_pkts"),
+		FastpathDemotions:   sum.Obs.Counter("cluster.clos.fastpath.demotions").Value(),
 	}
 	if secs > 0 {
 		f.Totals.EventsPerSec = float64(sum.Events) / secs

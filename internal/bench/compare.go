@@ -243,6 +243,8 @@ func Compare(base, cur *File, opts CompareOptions) *Report {
 		{"dp_cache_misses", base.Totals.DPCacheMisses, cur.Totals.DPCacheMisses},
 		{"placement_churn", base.Totals.PlacementChurn, cur.Totals.PlacementChurn},
 		{"ctl_p99_downtime_us", base.Totals.CtlP99DowntimeUs, cur.Totals.CtlP99DowntimeUs},
+		{"clos_drops", base.Totals.ClosDrops, cur.Totals.ClosDrops},
+		{"fastpath_demotions", base.Totals.FastpathDemotions, cur.Totals.FastpathDemotions},
 	}
 	for _, t := range obsTotals {
 		if t.base == 0 {

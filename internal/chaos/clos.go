@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/units"
+)
+
+// ClosDrainBound caps how long AuditClos will run the engine waiting for a
+// stopped fabric to drain. A Clos batch traverses at most four store-and-
+// forward hops, so anything still in flight this long after StopAll is a
+// leak, not a slow path.
+const ClosDrainBound = 5 * units.Second
+
+// AuditClos stops every flow, drains the fabric, and returns every violated
+// invariant: per-flow packet conservation across promote/demote transitions
+// (injected == delivered + dropped, exactly — the fluid fast-path must not
+// create or destroy packets when flows move between the packet and fluid
+// regimes), resequencer emptiness (no batch parked forever), empty queues,
+// and event-pool integrity. It advances simulated time, so call it after
+// measurement.
+func AuditClos(c *cluster.Clos) []Violation {
+	var vs []Violation
+	c.StopAll()
+	if !c.Drain(ClosDrainBound) {
+		vs = append(vs, Violation{"clos-drain", "fabric",
+			fmt.Sprintf("%d packets still in flight %v after StopAll",
+				c.InFlightPackets(), ClosDrainBound)})
+	}
+	for _, f := range c.Flows() {
+		if n := f.InFlight(); n != 0 {
+			vs = append(vs, Violation{"clos-conservation", fmt.Sprintf("flow[%d]", f.ID),
+				fmt.Sprintf("injected=%d but delivered=%d + dropped=%d",
+					f.Injected(), f.Delivered(), f.Dropped())})
+		}
+	}
+	if n := c.ReorderViolations(); n != 0 {
+		vs = append(vs, Violation{"clos-resequencer", "fabric",
+			fmt.Sprintf("%d batches still parked after drain", n)})
+	}
+	if q := c.QueuedBytes(); q != 0 {
+		vs = append(vs, Violation{"clos-queue-drain", "fabric",
+			fmt.Sprintf("%v still queued after drain", q)})
+	}
+	checkArena(&vs, c.Eng)
+	return vs
+}

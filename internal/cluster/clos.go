@@ -1,0 +1,930 @@
+// Leaf–spine Clos fabric.
+//
+// Where cluster.Cluster models one ToR switch with full per-host testbeds,
+// Clos scales the fabric axis: hosts hang off leaf switches, leaves connect
+// to every spine, and cross-leaf traffic is spread over the spines by
+// per-flow ECMP. Hosts here are lightweight traffic endpoints — per-host
+// device fidelity (mailboxes, interrupts, VM exits) is the single-host
+// figures' domain; this layer answers fabric questions (incast,
+// oversubscription, scale) where thousands of full testbeds would drown
+// the event queue without adding information.
+//
+// Every link is a bounded tail-drop FIFO with store-and-forward
+// serialization, exactly like the ToR link model. A flow traverses at most
+// four links: host→leaf, leaf→spine, spine→leaf, leaf→host. Intra-leaf
+// flows skip the trunk tier; same-host flows never touch the fabric.
+//
+// ECMP uses rendezvous (highest-random-weight) hashing of the flow 5-tuple
+// over the live spines: flow placement is stable, independent of arrival
+// order, and a link failure remaps only the flows that crossed the dead
+// trunk. Intra-flow ordering is enforced structurally — a flow's batches
+// share one path and FIFO links, and the final-hop arrival is clamped to be
+// strictly after the previous batch's arrival so a mid-flight reroute can
+// never reorder — and audited with per-flow sequence numbers.
+//
+// The flow-level fast-path (see fastpath.go) lets steady-state flows skip
+// per-packet events entirely and advance as fluid max-min rate allocations.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Topology describes a leaf–spine Clos fabric: Leafs leaf switches each
+// attaching HostsPerLeaf hosts over HostLink edges, and Spines spine
+// switches reached from every leaf over TrunkLink uplinks.
+type Topology struct {
+	Leafs        int
+	Spines       int
+	HostsPerLeaf int
+	HostLink     LinkConfig // host↔leaf edge links (default: ToR link class)
+	TrunkLink    LinkConfig // leaf↔spine trunks (default: edge rate — 1:1 per spine)
+}
+
+func (t *Topology) fill() {
+	if t.Leafs == 0 {
+		t.Leafs = 2
+	}
+	if t.Spines == 0 {
+		t.Spines = 2
+	}
+	if t.HostsPerLeaf == 0 {
+		t.HostsPerLeaf = 2
+	}
+	t.HostLink.fill()
+	t.TrunkLink.fill()
+}
+
+// Validate rejects degenerate shapes before any wiring happens.
+func (t Topology) Validate() error {
+	if t.Leafs < 1 || t.Spines < 1 || t.HostsPerLeaf < 1 {
+		return fmt.Errorf("clos: topology needs at least 1 leaf/spine/host, got %d/%d/%d",
+			t.Leafs, t.Spines, t.HostsPerLeaf)
+	}
+	if t.HostLink.Rate < 0 || t.TrunkLink.Rate < 0 {
+		return fmt.Errorf("clos: negative link rate")
+	}
+	return nil
+}
+
+// Hosts reports the total host count.
+func (t Topology) Hosts() int { return t.Leafs * t.HostsPerLeaf }
+
+// Oversubscription reports the leaf uplink oversubscription ratio: edge
+// capacity into a leaf divided by its trunk capacity out. 1.0 is
+// non-blocking; 4.0 means a 4:1 fabric.
+func (t Topology) Oversubscription() float64 {
+	tf := t
+	tf.fill()
+	down := float64(tf.HostsPerLeaf) * float64(tf.HostLink.Rate)
+	up := float64(tf.Spines) * float64(tf.TrunkLink.Rate)
+	if up <= 0 {
+		return math.Inf(1)
+	}
+	return down / up
+}
+
+// OversubscribedTopology builds a topology whose trunks are sized for the
+// requested oversubscription ratio given default edge links.
+func OversubscribedTopology(leafs, spines, hostsPerLeaf int, ratio float64) Topology {
+	t := Topology{Leafs: leafs, Spines: spines, HostsPerLeaf: hostsPerLeaf}
+	t.fill()
+	if ratio > 0 {
+		trunk := float64(t.HostsPerLeaf) * float64(t.HostLink.Rate) / (float64(t.Spines) * ratio)
+		t.TrunkLink.Rate = units.BitRate(trunk)
+	}
+	return t
+}
+
+// FastpathMode selects how the flow-level fast-path engages.
+type FastpathMode int
+
+const (
+	// FastpathAuto starts flows fluid and demotes/promotes them against the
+	// packet model based on congestion — the production setting.
+	FastpathAuto FastpathMode = iota
+	// FastpathOn forces every live-path flow fluid, congested or not.
+	FastpathOn
+	// FastpathOff disables the fast-path: every flow runs packet-level.
+	FastpathOff
+)
+
+// ParseFastpathMode parses the -fastpath flag values.
+func ParseFastpathMode(s string) (FastpathMode, error) {
+	switch s {
+	case "auto", "":
+		return FastpathAuto, nil
+	case "on":
+		return FastpathOn, nil
+	case "off":
+		return FastpathOff, nil
+	}
+	return FastpathAuto, fmt.Errorf("unknown fastpath mode %q (want auto|on|off)", s)
+}
+
+func (m FastpathMode) String() string {
+	switch m {
+	case FastpathOn:
+		return "on"
+	case FastpathOff:
+		return "off"
+	}
+	return "auto"
+}
+
+// ClosConfig configures a Clos fabric instance.
+type ClosConfig struct {
+	Topo Topology
+	Seed uint64
+	Obs  *obs.Registry
+	// Arena shares pooled event storage with the owning worker (the PR 5
+	// arena-per-worker seam); nil builds a private arena.
+	Arena *sim.Arena
+	// Eng attaches the fabric to an existing engine instead of creating one.
+	Eng *sim.Engine
+
+	Fastpath FastpathMode
+	// BatchFrames is the frames-per-batch emission granularity (default 4).
+	BatchFrames int
+	// PerLinkStats registers per-link counters in addition to the always-on
+	// per-tier rollups. Off by default: a 1024-host fabric has thousands of
+	// links and the rollups answer the capacity questions.
+	PerLinkStats bool
+
+	// Fast-path hysteresis. A fluid flow demotes to packet level when a
+	// traversed link's demand utilization reaches DemoteUtil or its queue
+	// crosses three quarters of capacity; a demoted flow promotes back after
+	// its path has stayed below PromoteUtil with drained queues for
+	// PromoteQuiet. Defaults: 0.95 / 0.85 / 10 ms.
+	DemoteUtil   float64
+	PromoteUtil  float64
+	PromoteQuiet units.Duration
+}
+
+func (cfg *ClosConfig) fill() {
+	cfg.Topo.fill()
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if cfg.BatchFrames == 0 {
+		cfg.BatchFrames = 4
+	}
+	if cfg.DemoteUtil == 0 {
+		cfg.DemoteUtil = 0.95
+	}
+	if cfg.PromoteUtil == 0 {
+		cfg.PromoteUtil = 0.85
+	}
+	if cfg.PromoteQuiet == 0 {
+		cfg.PromoteQuiet = 10 * units.Millisecond
+	}
+}
+
+// Clos tier indices for the per-tier metric rollups.
+const (
+	tierEdgeUp = iota // host → leaf
+	tierTrunkUp
+	tierTrunkDown
+	tierEdgeDown // leaf → host
+	tierCount
+)
+
+var tierNames = [tierCount]string{"edge_up", "trunk_up", "trunk_down", "edge_down"}
+
+// tierStats aggregates link metrics across one tier of the fabric.
+type tierStats struct {
+	txPackets  *obs.Counter
+	txBytes    *obs.Counter
+	dropped    *obs.Counter
+	fluidBytes *obs.Counter
+	peakQueue  *obs.Gauge // KiB high-water mark across the tier's queues
+}
+
+// closLink is one directed fabric link: a tail-drop FIFO serializing at the
+// link rate. Its effective packet drain rate shrinks by the bandwidth the
+// fluid model has allocated through it, so packet- and flow-level traffic
+// share capacity coherently.
+type closLink struct {
+	c      *Clos
+	index  int
+	name   string
+	evName string
+	tier   *tierStats
+	cfg    LinkConfig
+	up     bool
+
+	qBytes    units.Size
+	busyUntil units.Time
+
+	// fluid occupancy, maintained by the fluid model's recompute
+	fluidRate  float64 // bps allocated to fluid flows through this link
+	fluidFlows int
+	demandBps  float64 // total offered demand of active flows (for hysteresis)
+	nActive    int
+
+	// optional per-link instruments (nil unless PerLinkStats)
+	txPackets *obs.Counter
+	dropped   *obs.Counter
+}
+
+// effRate is the drain rate the packet path sees: capacity minus the fluid
+// reservations, floored at 1/16th of line rate so a transiently
+// over-reserved link degrades instead of stalling.
+func (l *closLink) effRate() units.BitRate {
+	eff := float64(l.cfg.Rate) - l.fluidRate
+	if floor := float64(l.cfg.Rate) / 16; eff < floor {
+		eff = floor
+	}
+	return units.BitRate(eff)
+}
+
+// closBatch is a pooled in-flight frame batch: one event per hop, no
+// allocation per packet. The fire closure is created once per pool entry.
+type closBatch struct {
+	f      *ClosFlow
+	path   []*closLink
+	hop    int
+	count  int
+	bytes  units.Size
+	seq    int64
+	sentAt units.Time
+	fire   func()
+}
+
+// Clos is a leaf–spine fabric simulation: topology, flows, and the fluid
+// fast-path model. Like every simulation object it is single-goroutine,
+// owned by the engine that drives it.
+type Clos struct {
+	Eng *sim.Engine
+	Obs *obs.Registry
+
+	cfg  ClosConfig
+	topo Topology
+
+	hostUp  []*closLink   // [host] host→leaf
+	hostDn  []*closLink   // [host] leaf→host
+	trunkUp [][]*closLink // [leaf][spine]
+	trunkDn [][]*closLink // [spine][leaf]
+	links   []*closLink   // registration order
+
+	tiers [tierCount]tierStats
+
+	flows  []*ClosFlow
+	nextID int
+
+	fm *fluidModel
+
+	pool     []*closBatch
+	inFlight int64
+
+	reorderParks  *obs.Counter // deliveries resequenced after a reroute transient
+	reorderClamps *obs.Counter // final-hop arrivals clamped to preserve order
+	seamStraggler *obs.Counter // packet deliveries below a fluid bulk-advance
+	reroutes      *obs.Counter
+	linkDownDrops *obs.Counter
+}
+
+// NewClos wires a fabric from the config. The registry may be nil.
+func NewClos(cfg ClosConfig) (*Clos, error) {
+	cfg.fill()
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	eng := cfg.Eng
+	if eng == nil {
+		arena := cfg.Arena
+		if arena == nil {
+			arena = sim.NewArena()
+		}
+		eng = sim.NewEngineArena(cfg.Seed, arena)
+	}
+	c := &Clos{
+		Eng:  eng,
+		Obs:  cfg.Obs,
+		cfg:  cfg,
+		topo: cfg.Topo,
+
+		reorderParks:  cfg.Obs.Counter("cluster.clos.reorder_parks"),
+		reorderClamps: cfg.Obs.Counter("cluster.clos.reorder_clamps"),
+		seamStraggler: cfg.Obs.Counter("cluster.clos.fastpath.seam_stragglers"),
+		reroutes:      cfg.Obs.Counter("cluster.clos.reroutes"),
+		linkDownDrops: cfg.Obs.Counter("cluster.clos.linkdown_drops"),
+	}
+	for t := 0; t < tierCount; t++ {
+		prefix := "cluster.clos.tier." + tierNames[t]
+		c.tiers[t] = tierStats{
+			txPackets:  cfg.Obs.Counter(prefix + ".tx_pkts"),
+			txBytes:    cfg.Obs.Counter(prefix + ".tx_bytes"),
+			dropped:    cfg.Obs.Counter(prefix + ".dropped_pkts"),
+			fluidBytes: cfg.Obs.Counter(prefix + ".fluid_bytes"),
+			peakQueue:  cfg.Obs.Gauge(prefix + ".peak_queue_kib"),
+		}
+	}
+
+	topo := c.topo
+	hosts := topo.Hosts()
+	c.hostUp = make([]*closLink, hosts)
+	c.hostDn = make([]*closLink, hosts)
+	for h := 0; h < hosts; h++ {
+		c.hostUp[h] = c.newClosLink(fmt.Sprintf("eup.h%d", h), tierEdgeUp, topo.HostLink)
+		c.hostDn[h] = c.newClosLink(fmt.Sprintf("edn.h%d", h), tierEdgeDown, topo.HostLink)
+	}
+	c.trunkUp = make([][]*closLink, topo.Leafs)
+	for l := 0; l < topo.Leafs; l++ {
+		c.trunkUp[l] = make([]*closLink, topo.Spines)
+		for s := 0; s < topo.Spines; s++ {
+			c.trunkUp[l][s] = c.newClosLink(fmt.Sprintf("tup.l%d.s%d", l, s), tierTrunkUp, topo.TrunkLink)
+		}
+	}
+	c.trunkDn = make([][]*closLink, topo.Spines)
+	for s := 0; s < topo.Spines; s++ {
+		c.trunkDn[s] = make([]*closLink, topo.Leafs)
+		for l := 0; l < topo.Leafs; l++ {
+			c.trunkDn[s][l] = c.newClosLink(fmt.Sprintf("tdn.s%d.l%d", s, l), tierTrunkDown, topo.TrunkLink)
+		}
+	}
+	c.fm = newFluidModel(c, cfg.Fastpath)
+	return c, nil
+}
+
+func (c *Clos) newClosLink(name string, tier int, cfg LinkConfig) *closLink {
+	cfg.fill()
+	l := &closLink{
+		c:      c,
+		index:  len(c.links),
+		name:   name,
+		evName: "clos:" + name,
+		tier:   &c.tiers[tier],
+		cfg:    cfg,
+		up:     true,
+	}
+	if c.cfg.PerLinkStats {
+		prefix := "cluster.clos.link." + name
+		l.txPackets = c.Obs.Counter(prefix + ".tx_pkts")
+		l.dropped = c.Obs.Counter(prefix + ".dropped_pkts")
+	}
+	c.links = append(c.links, l)
+	return l
+}
+
+// Topology reports the fabric shape (filled with defaults).
+func (c *Clos) Topology() Topology { return c.topo }
+
+// Flows reports every flow ever started, in creation order.
+func (c *Clos) Flows() []*ClosFlow { return c.flows }
+
+// InFlightPackets reports packets currently traversing the packet path.
+func (c *Clos) InFlightPackets() int64 { return c.inFlight }
+
+// QueuedBytes sums the backlog across every fabric queue.
+func (c *Clos) QueuedBytes() units.Size {
+	var total units.Size
+	for _, l := range c.links {
+		total += l.qBytes
+	}
+	return total
+}
+
+// ReorderViolations counts batches currently held out of order by the
+// receiver-side resequencers. After a drain it must be zero: every parked
+// batch flushes once its blocking gap resolves, so a nonzero value means
+// in-order delivery broke.
+func (c *Clos) ReorderViolations() int64 {
+	var n int64
+	for _, f := range c.flows {
+		n += int64(len(f.parked))
+	}
+	return n
+}
+
+// Demotions and Promotions report fast-path transitions so far.
+func (c *Clos) Demotions() int64  { return c.fm.demotions.Value() }
+func (c *Clos) Promotions() int64 { return c.fm.promotions.Value() }
+
+func (c *Clos) leafOf(host int) int { return host / c.topo.HostsPerLeaf }
+
+// splitmix64 is the SplitMix64 finalizer: the stable, seed-salted hash under
+// both the flow key and the rendezvous spine scores.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (c *Clos) flowKey(srcHost, srcVM, dstHost, dstVM int) uint64 {
+	k := splitmix64(c.cfg.Seed ^ uint64(srcHost)<<32 ^ uint64(srcVM))
+	return splitmix64(k ^ uint64(dstHost)<<32 ^ uint64(dstVM))
+}
+
+// pickSpine rendezvous-hashes the flow over spines with a live trunk pair
+// for this leaf crossing. With no live spine it falls back to the best
+// scoring dead one (the flow blackholes there, visibly, until repair).
+func (c *Clos) pickSpine(key uint64, srcLeaf, dstLeaf int) int {
+	best, bestDead := -1, -1
+	var bestScore, bestDeadScore uint64
+	for s := 0; s < c.topo.Spines; s++ {
+		score := splitmix64(key ^ (uint64(s) + 0x632be59bd9b4e019))
+		if c.trunkUp[srcLeaf][s].up && c.trunkDn[s][dstLeaf].up {
+			if best < 0 || score > bestScore {
+				best, bestScore = s, score
+			}
+		} else if bestDead < 0 || score > bestDeadScore {
+			bestDead, bestDeadScore = s, score
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return bestDead
+}
+
+// route computes (or recomputes) the flow's path. Batches already in flight
+// keep the path slice they captured at injection, so a reroute can never
+// teleport a queued batch.
+func (c *Clos) route(f *ClosFlow) {
+	if f.SrcHost == f.DstHost {
+		f.path = nil
+		f.spine = -1
+	} else if sl, dl := c.leafOf(f.SrcHost), c.leafOf(f.DstHost); sl == dl {
+		f.path = []*closLink{c.hostUp[f.SrcHost], c.hostDn[f.DstHost]}
+		f.spine = -1
+	} else {
+		sp := c.pickSpine(f.key, sl, dl)
+		f.path = []*closLink{c.hostUp[f.SrcHost], c.trunkUp[sl][sp], c.trunkDn[sp][dl], c.hostDn[f.DstHost]}
+		f.spine = sp
+	}
+	f.pathIdx = f.pathIdx[:0]
+	for _, l := range f.path {
+		f.pathIdx = append(f.pathIdx, l.index)
+	}
+}
+
+func (f *ClosFlow) pathUp() bool {
+	for _, l := range f.path {
+		if !l.up {
+			return false
+		}
+	}
+	return true
+}
+
+// SetTrunk flips a leaf↔spine trunk pair up or down. Affected flows are
+// rerouted (rendezvous hashing moves only the flows that crossed the dead
+// trunk) and the fluid allocations recompute.
+func (c *Clos) SetTrunk(leaf, spine int, up bool) {
+	if leaf < 0 || leaf >= c.topo.Leafs || spine < 0 || spine >= c.topo.Spines {
+		return
+	}
+	if c.trunkUp[leaf][spine].up == up && c.trunkDn[spine][leaf].up == up {
+		return
+	}
+	c.trunkUp[leaf][spine].up = up
+	c.trunkDn[spine][leaf].up = up
+	for _, f := range c.flows {
+		if f.stopped || f.done || f.spine < 0 {
+			continue
+		}
+		old := f.spine
+		c.route(f)
+		if f.spine != old {
+			c.reroutes.Inc()
+		}
+	}
+	c.fm.dirty()
+}
+
+// TrunkUp reports whether a trunk pair is up.
+func (c *Clos) TrunkUp(leaf, spine int) bool {
+	return c.trunkUp[leaf][spine].up && c.trunkDn[spine][leaf].up
+}
+
+func (c *Clos) getBatch() *closBatch {
+	if n := len(c.pool); n > 0 {
+		b := c.pool[n-1]
+		c.pool = c.pool[:n-1]
+		return b
+	}
+	b := &closBatch{}
+	b.fire = func() { b.arrive() }
+	return b
+}
+
+func (c *Clos) putBatch(b *closBatch) {
+	b.f, b.path = nil, nil
+	c.pool = append(c.pool, b)
+}
+
+// send enqueues the batch on this link; tail-drop if the buffer is full,
+// black-hole drop if the link is down.
+func (l *closLink) send(b *closBatch) {
+	c := l.c
+	now := c.Eng.Now()
+	if !l.up {
+		c.linkDownDrops.Add(int64(b.count))
+		l.drop(b)
+		return
+	}
+	if l.qBytes+b.bytes > l.cfg.QueueCap {
+		l.drop(b)
+		return
+	}
+	l.qBytes += b.bytes
+	l.tier.peakQueue.SetMax(float64(l.qBytes) / float64(units.KiB))
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	l.busyUntil = start.Add(units.TransferTime(b.bytes, l.effRate()))
+	at := l.busyUntil.Add(l.cfg.Latency)
+	if b.hop == len(b.path)-1 {
+		// Final hop: arrivals within a flow must be strictly monotonic even
+		// across a reroute whose new path is faster than the old one.
+		if at <= b.f.lastArrival {
+			at = b.f.lastArrival + 1
+			c.reorderClamps.Inc()
+		}
+		b.f.lastArrival = at
+	}
+	c.Eng.At(at, l.evName, b.fire)
+	if c.fm.mode == FastpathAuto && l.fluidFlows > 0 && l.qBytes*4 > l.cfg.QueueCap*3 {
+		c.fm.queuePressure(l)
+	}
+}
+
+func (l *closLink) drop(b *closBatch) {
+	l.tier.dropped.Add(int64(b.count))
+	l.dropped.Add(int64(b.count)) // nil-safe when PerLinkStats is off
+	b.f.droppedPkts += int64(b.count)
+	b.f.droppedBytes += b.bytes
+	l.c.inFlight -= int64(b.count)
+	b.f.resolve(b.seq, 0, 0, false, l.c.Eng.Now())
+	l.c.putBatch(b)
+}
+
+// arrive fires when the batch finishes serializing (plus latency) on its
+// current hop: either forward to the next link or deliver.
+func (b *closBatch) arrive() {
+	l := b.path[b.hop]
+	l.qBytes -= b.bytes
+	l.tier.txPackets.Add(int64(b.count))
+	l.tier.txBytes.Add(int64(b.bytes))
+	l.txPackets.Add(int64(b.count)) // nil-safe when PerLinkStats is off
+	b.hop++
+	if b.hop < len(b.path) {
+		b.path[b.hop].send(b)
+		return
+	}
+	f := b.f
+	c := l.c
+	c.inFlight -= int64(b.count)
+	f.resolve(b.seq, b.count, b.bytes, true, c.Eng.Now())
+	c.putBatch(b)
+}
+
+// parkedSeq is one out-of-order terminal event (delivery or drop) held by a
+// flow's receiver-side resequencer until the seq gap below it resolves.
+type parkedSeq struct {
+	seq       int64
+	count     int
+	bytes     units.Size
+	delivered bool
+}
+
+// resolve retires one batch sequence number. In-order deliveries credit
+// immediately; out-of-order ones — possible only across a reroute, since a
+// stable path is FIFO end to end — park until every lower seq has resolved,
+// which is exactly what a receiver's resequencing buffer does. Drops resolve
+// their seq too (the receiver is omniscient here), so a loss never wedges
+// the resequencer.
+func (f *ClosFlow) resolve(seq int64, count int, bytes units.Size, delivered bool, now units.Time) {
+	if seq <= f.resolvedSeq {
+		// Below a fluid bulk-advance: the ledger already moved past this seq
+		// at a mode seam. Credit directly; ordering across the seam is not a
+		// fabric property.
+		if delivered {
+			f.credit(count, bytes, now)
+			f.c.seamStraggler.Inc()
+		}
+		return
+	}
+	if seq == f.resolvedSeq+1 {
+		f.resolvedSeq = seq
+		if delivered {
+			f.credit(count, bytes, now)
+		}
+		f.flushParked(now)
+		return
+	}
+	if delivered {
+		// A drop resolving early (it dies upstream while older batches are
+		// still in flight) is routine bookkeeping; a *delivery* parking
+		// means the fabric genuinely let a batch overtake — only possible
+		// across a reroute, and worth surfacing.
+		f.c.reorderParks.Inc()
+	}
+	p := parkedSeq{seq: seq, count: count, bytes: bytes, delivered: delivered}
+	i := len(f.parked)
+	f.parked = append(f.parked, p)
+	for i > 0 && f.parked[i-1].seq > p.seq {
+		f.parked[i] = f.parked[i-1]
+		i--
+	}
+	f.parked[i] = p
+}
+
+// flushParked releases every parked batch whose seq gap has closed.
+func (f *ClosFlow) flushParked(now units.Time) {
+	for len(f.parked) > 0 && f.parked[0].seq <= f.resolvedSeq+1 {
+		p := f.parked[0]
+		f.parked = f.parked[1:]
+		if p.seq > f.resolvedSeq {
+			f.resolvedSeq = p.seq
+		}
+		if p.delivered {
+			f.credit(p.count, p.bytes, now)
+		}
+	}
+}
+
+// ClosFlow is one unidirectional VM→VM flow: an open-loop CBR source
+// (optionally bounded to TotalBytes) emitting fixed-size frame batches at
+// its demand rate, either as per-hop packet events or as fluid settles.
+type ClosFlow struct {
+	c  *Clos
+	ID int
+
+	SrcHost, SrcVM int
+	DstHost, DstVM int
+
+	key        uint64
+	demand     units.BitRate
+	totalBytes units.Size // 0 = unbounded
+	batchCount int
+	batchBytes units.Size
+	period     units.Duration // emission period at the demand rate
+	startAt    units.Time
+
+	path    []*closLink
+	pathIdx []int // link indices, for the max-min allocator
+	spine   int
+
+	fluid   bool
+	alloc   float64 // bps granted by the fluid model
+	stopped bool
+	done    bool // finite flow fully emitted
+
+	nextEmit units.Time
+	emitH    sim.Handle
+	emitFn   func()
+	doneH    sim.Handle
+	doneFn   func()
+
+	// ledger — audited for exact packet conservation
+	seq          int64
+	resolvedSeq  int64 // all seqs <= this have delivered or dropped
+	parked       []parkedSeq
+	injectedPkts int64
+	deliveredPkts    int64
+	droppedPkts      int64
+	injectedBytes    units.Size
+	emittedBytes     units.Size
+	deliveredBytes   units.Size
+	droppedBytes     units.Size
+	lastArrival      units.Time
+	lastDeliveryAt   units.Time
+
+	// fast-path hysteresis state
+	demotedAt units.Time
+	calmSince units.Time
+	hasCalm   bool
+}
+
+// StartFlow starts an unbounded CBR flow between two VMs.
+func (c *Clos) StartFlow(srcHost, srcVM, dstHost, dstVM int, rate units.BitRate) *ClosFlow {
+	return c.startFlow(srcHost, srcVM, dstHost, dstVM, rate, 0)
+}
+
+// StartTransfer starts a finite transfer of total bytes at the given
+// offered rate; it completes when the last byte is delivered.
+func (c *Clos) StartTransfer(srcHost, srcVM, dstHost, dstVM int, rate units.BitRate, total units.Size) *ClosFlow {
+	return c.startFlow(srcHost, srcVM, dstHost, dstVM, rate, total)
+}
+
+func (c *Clos) startFlow(srcHost, srcVM, dstHost, dstVM int, rate units.BitRate, total units.Size) *ClosFlow {
+	hosts := c.topo.Hosts()
+	if srcHost < 0 || srcHost >= hosts || dstHost < 0 || dstHost >= hosts {
+		panic(fmt.Sprintf("clos: flow endpoints %d→%d outside %d hosts", srcHost, dstHost, hosts))
+	}
+	if rate <= 0 {
+		rate = model.LineRateUDP
+	}
+	f := &ClosFlow{
+		c:  c,
+		ID: c.nextID,
+
+		SrcHost: srcHost, SrcVM: srcVM,
+		DstHost: dstHost, DstVM: dstVM,
+
+		key:        c.flowKey(srcHost, srcVM, dstHost, dstVM),
+		demand:     rate,
+		totalBytes: total,
+		batchCount: c.cfg.BatchFrames,
+		batchBytes: units.Size(c.cfg.BatchFrames) * model.FrameSize,
+		startAt:    c.Eng.Now(),
+	}
+	f.period = units.TransferTime(f.batchBytes, rate)
+	if f.period <= 0 {
+		f.period = 1
+	}
+	// The source fills its first batch over one period before emitting.
+	f.nextEmit = f.startAt.Add(f.period)
+	f.emitFn = func() { f.emit() }
+	f.doneFn = func() { c.fm.fluidComplete(f) }
+	c.nextID++
+	c.route(f)
+	c.flows = append(c.flows, f)
+	c.fm.admit(f)
+	return f
+}
+
+// StartRing starts vmsPerHost flows per host in a host ring — VM v on host
+// h sends to VM v on host h+1 — at the given per-flow rate. VM start times
+// are staggered across one emission period so well-behaved sources do not
+// burst in lockstep; on an uncongested ring the stagger keeps every queue
+// empty, which the fastpath≡packet differential gates rely on. Flows are
+// created by scheduled events, so the returned slice fills in as the
+// engine runs.
+func (c *Clos) StartRing(vmsPerHost int, rate units.BitRate) []*ClosFlow {
+	hosts := c.topo.Hosts()
+	flows := make([]*ClosFlow, hosts*vmsPerHost)
+	period := units.TransferTime(units.Size(c.cfg.BatchFrames)*model.FrameSize, rate)
+	now := c.Eng.Now()
+	for h := 0; h < hosts; h++ {
+		for v := 0; v < vmsPerHost; v++ {
+			i := h*vmsPerHost + v
+			src, dst, vm := h, (h+1)%hosts, v
+			at := now.Add(units.Duration(v) * period / units.Duration(vmsPerHost))
+			c.Eng.At(at, "clos:ring-start", func() {
+				flows[i] = c.StartFlow(src, vm, dst, vm, rate)
+			})
+		}
+	}
+	return flows
+}
+
+// nextBatch sizes the next emission: full batches until the (possibly
+// partial) tail of a finite transfer. count==0 means fully emitted.
+func (f *ClosFlow) nextBatch() (count int, bytes units.Size) {
+	if f.totalBytes > 0 {
+		rem := f.totalBytes - f.emittedBytes
+		if rem <= 0 {
+			return 0, 0
+		}
+		if rem < f.batchBytes {
+			n := int((rem + model.FrameSize - 1) / model.FrameSize)
+			return n, rem
+		}
+	}
+	return f.batchCount, f.batchBytes
+}
+
+// emit is the packet-mode source tick: inject one batch, schedule the next.
+func (f *ClosFlow) emit() {
+	if f.stopped || f.fluid {
+		return
+	}
+	count, bytes := f.nextBatch()
+	if count == 0 {
+		f.finish()
+		return
+	}
+	f.inject(count, bytes)
+	f.nextEmit = f.nextEmit.Add(f.period)
+	if f.totalBytes > 0 && f.emittedBytes >= f.totalBytes {
+		f.finish()
+		return
+	}
+	f.emitH = f.c.Eng.At(f.nextEmit, "clos:emit", f.emitFn)
+}
+
+func (f *ClosFlow) inject(count int, bytes units.Size) {
+	c := f.c
+	f.seq++
+	f.injectedPkts += int64(count)
+	f.injectedBytes += bytes
+	f.emittedBytes += bytes
+	now := c.Eng.Now()
+	if len(f.path) == 0 {
+		// Same-host traffic never touches the fabric.
+		f.resolve(f.seq, count, bytes, true, now)
+		return
+	}
+	b := c.getBatch()
+	b.f, b.path, b.hop = f, f.path, 0
+	b.count, b.bytes, b.seq, b.sentAt = count, bytes, f.seq, now
+	c.inFlight += int64(count)
+	b.path[0].send(b)
+}
+
+func (f *ClosFlow) credit(count int, bytes units.Size, at units.Time) {
+	f.deliveredPkts += int64(count)
+	f.deliveredBytes += bytes
+	if at > f.lastDeliveryAt {
+		f.lastDeliveryAt = at
+	}
+}
+
+// finish marks a finite flow fully emitted; its demand leaves the
+// allocation problem (delivery of in-flight batches continues).
+func (f *ClosFlow) finish() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.c.fm.dirty()
+}
+
+// Stop halts the source. Fluid progress is settled first so the ledger
+// stays exact; in-flight packet batches still deliver (drain the fabric to
+// collect them).
+func (f *ClosFlow) Stop() {
+	if f.stopped {
+		return
+	}
+	f.c.fm.settle(f, f.c.Eng.Now())
+	f.stopped = true
+	f.emitH.Cancel()
+	f.doneH.Cancel()
+	f.c.fm.dirty()
+}
+
+// StopAll stops every flow.
+func (c *Clos) StopAll() {
+	for _, f := range c.flows {
+		f.Stop()
+	}
+}
+
+// Injected, Delivered, Dropped and InFlight expose the conservation ledger.
+func (f *ClosFlow) Injected() int64  { return f.injectedPkts }
+func (f *ClosFlow) Delivered() int64 { return f.deliveredPkts }
+func (f *ClosFlow) Dropped() int64   { return f.droppedPkts }
+func (f *ClosFlow) InFlight() int64  { return f.injectedPkts - f.deliveredPkts - f.droppedPkts }
+
+// DeliveredBytes reports goodput bytes received so far.
+func (f *ClosFlow) DeliveredBytes() units.Size { return f.deliveredBytes }
+
+// DroppedBytes reports bytes lost to tail or link-down drops.
+func (f *ClosFlow) DroppedBytes() units.Size { return f.droppedBytes }
+
+// Fluid reports whether the flow currently advances on the fast-path.
+func (f *ClosFlow) Fluid() bool { return f.fluid }
+
+// Done reports whether a finite transfer has fully emitted.
+func (f *ClosFlow) Done() bool { return f.done }
+
+// Completed reports whether every injected packet was delivered or dropped.
+func (f *ClosFlow) Completed() bool {
+	return f.done && f.InFlight() == 0
+}
+
+// FCT reports the flow completion time: last delivery minus start.
+func (f *ClosFlow) FCT() units.Duration {
+	if f.lastDeliveryAt <= f.startAt {
+		return 0
+	}
+	return f.lastDeliveryAt.Sub(f.startAt)
+}
+
+// Run advances the fabric's engine by d.
+func (c *Clos) Run(d units.Duration) { c.Eng.RunUntil(c.Eng.Now().Add(d)) }
+
+// Drain runs until no packets are in flight (bounded). It reports whether
+// the fabric fully drained. Fluid flows must be settled (stopped) first.
+func (c *Clos) Drain(bound units.Duration) bool {
+	deadline := c.Eng.Now().Add(bound)
+	for c.inFlight > 0 && c.Eng.Now() < deadline {
+		step := c.Eng.Now().Add(units.Millisecond)
+		if step > deadline {
+			step = deadline
+		}
+		c.Eng.RunUntil(step)
+	}
+	return c.inFlight == 0
+}
+
+// TierDrops sums dropped packets across all tiers.
+func (c *Clos) TierDrops() int64 {
+	var total int64
+	for t := 0; t < tierCount; t++ {
+		total += c.tiers[t].dropped.Value()
+	}
+	return total
+}

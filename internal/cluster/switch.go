@@ -117,10 +117,17 @@ func (l *link) send(b nic.Batch) {
 // maps source MACs to the ingress port they were last seen on. Unknown
 // destinations flood to every port but the ingress (in port order, so a
 // flood's event schedule is deterministic).
+//
+// Every FDB iteration surface is explicitly ordered: floods walk the port
+// slice, and FDBMACs/FlushPort walk MACs in first-learned order (fdbOrder),
+// never the map. Map iteration order is the one source of nondeterminism Go
+// hands out for free, and a Clos multiplies flood and flush fan-out enough
+// that a single map-ordered walk would break byte-identical replay.
 type Switch struct {
-	eng   *sim.Engine
-	ports []*link
-	fdb   map[nic.MAC]int
+	eng      *sim.Engine
+	ports    []*link
+	fdb      map[nic.MAC]int
+	fdbOrder []nic.MAC // first-learned order; the only iteration order used
 
 	learns *obs.Counter
 	floods *obs.Counter
@@ -149,6 +156,9 @@ func (s *Switch) addPort(l *link) int {
 func (s *Switch) ingress(from int, b nic.Batch) {
 	if b.Src != 0 && b.Src != nic.Broadcast {
 		if cur, ok := s.fdb[b.Src]; !ok || cur != from {
+			if !ok {
+				s.fdbOrder = append(s.fdbOrder, b.Src)
+			}
 			s.fdb[b.Src] = from
 			s.learns.Inc()
 		}
@@ -173,4 +183,32 @@ func (s *Switch) ingress(from int, b nic.Batch) {
 func (s *Switch) FDBPort(mac nic.MAC) (int, bool) {
 	p, ok := s.fdb[mac]
 	return p, ok
+}
+
+// FDBMACs returns every learned MAC in first-learned order. The order is a
+// pinned part of the contract: any event schedule derived from walking the
+// FDB must be identical run to run.
+func (s *Switch) FDBMACs() []nic.MAC {
+	out := make([]nic.MAC, len(s.fdbOrder))
+	copy(out, s.fdbOrder)
+	return out
+}
+
+// FlushPort forgets every MAC learned on the given port — what a real ToR
+// does when a link goes down — walking first-learned order so any flood
+// or re-announce triggered downstream is deterministic. It reports how many
+// entries were flushed.
+func (s *Switch) FlushPort(port int) int {
+	kept := s.fdbOrder[:0]
+	flushed := 0
+	for _, mac := range s.fdbOrder {
+		if s.fdb[mac] == port {
+			delete(s.fdb, mac)
+			flushed++
+			continue
+		}
+		kept = append(kept, mac)
+	}
+	s.fdbOrder = kept
+	return flushed
 }

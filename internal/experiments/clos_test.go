@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestClosScale256Smoke is the CI clos-scale job's entry point: the fig31
+// 256-host point, fast-path on and off, asserting the two headline claims
+// without running the whole sweep. It stays on under -short and the race
+// detector — this is the point the smoke job exists to cover.
+func TestClosScale256Smoke(t *testing.T) {
+	const hosts = 256
+	seed := PointSeed("fig31", "smoke")
+	run := func(mode cluster.FastpathMode) closRingCell {
+		return runClosRing(seed, obs.NewRegistry(), sim.NewArena(), hosts, closRingVMs, mode)
+	}
+	on := run(cluster.FastpathOn)
+	off := run(cluster.FastpathOff)
+	if on.delivered != off.delivered {
+		t.Fatalf("fast-path changed the byte ledger: on=%d off=%d", on.delivered, off.delivered)
+	}
+	if on.delivered == 0 {
+		t.Fatal("ring delivered nothing")
+	}
+	if ratio := float64(off.events) / float64(on.events); ratio < 5 {
+		t.Fatalf("fast-path events win %.1fx, want >= 5x (on=%d off=%d)", ratio, on.events, off.events)
+	}
+	if on.drops != 0 || off.drops != 0 {
+		t.Fatalf("uncongested ring dropped: on=%d off=%d", on.drops, off.drops)
+	}
+	if on.violations != 0 || off.violations != 0 {
+		t.Fatalf("invariant violations: on=%d off=%d", on.violations, off.violations)
+	}
+}
+
+// TestClosSoakIterations runs a few seeds of the fabric soak leg and
+// requires every iteration to audit clean.
+func TestClosSoakIterations(t *testing.T) {
+	n := 8
+	if testing.Short() {
+		n = 2
+	}
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		r := ClosSoak(seed)
+		if len(r.Violations) != 0 {
+			for _, v := range r.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+		}
+		if r.Hosts < 4 || r.Flows < 4 {
+			t.Fatalf("seed %d drew a degenerate iteration: %+v", seed, r)
+		}
+	}
+}

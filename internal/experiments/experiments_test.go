@@ -12,7 +12,7 @@ import (
 var fastFigures = []string{"extrr", "fig07", "fig08", "fig09", "fig10", "fig20", "fig21"}
 
 // slowFigures build many testbeds or tens of guests.
-var slowFigures = []string{"ext10g", "faults", "fig06", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "fig29"}
+var slowFigures = []string{"ext10g", "faults", "fig06", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27", "fig28", "fig29", "fig30", "fig31"}
 
 func runAndAssert(t *testing.T, id string) {
 	t.Helper()

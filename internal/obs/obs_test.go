@@ -269,3 +269,29 @@ func TestWriteChromeTrace(t *testing.T) {
 		t.Fatal("trace export not deterministic")
 	}
 }
+
+func TestGaugeSetMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("peak")
+	g.SetMax(3)
+	if g.Value() != 3 {
+		t.Fatalf("SetMax on unset gauge: got %v, want 3", g.Value())
+	}
+	g.SetMax(1)
+	if g.Value() != 3 {
+		t.Fatalf("SetMax with lower value should keep max: got %v", g.Value())
+	}
+	g.SetMax(7)
+	if g.Value() != 7 {
+		t.Fatalf("SetMax with higher value: got %v, want 7", g.Value())
+	}
+	// Set still overwrites unconditionally; SetMax resumes from there.
+	g.Set(2)
+	g.SetMax(1)
+	if g.Value() != 2 {
+		t.Fatalf("SetMax below an explicit Set: got %v, want 2", g.Value())
+	}
+	// Nil safety matches the rest of the instrument surface.
+	var nilG *Gauge
+	nilG.SetMax(5)
+}

@@ -65,6 +65,19 @@ func (g *Gauge) Set(v float64) {
 	g.set = true
 }
 
+// SetMax raises the gauge to v if v exceeds the current value or the gauge
+// was never set. Used for peak-tracking (deepest queue, widest burst) where
+// only the high-water mark matters. Safe on nil.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	if !g.set || v > g.v {
+		g.v = v
+		g.set = true
+	}
+}
+
 // Value reports the last set value (0 on nil or never set).
 func (g *Gauge) Value() float64 {
 	if g == nil {

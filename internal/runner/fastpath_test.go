@@ -1,0 +1,49 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+)
+
+// TestFastpathPacketEquivalence is the packet≡flow differential gate at the
+// runner level: uncongested Clos ring figures must render byte-identically
+// with the flow fast-path forced on and forced off, at every parallelism.
+// The specs share IDs, labels, and seeds across modes and publish only
+// drain-total ledgers, so any divergence means the fluid model created,
+// destroyed, or re-timed bytes relative to the packet model.
+func TestFastpathPacketEquivalence(t *testing.T) {
+	hostCounts := []int{4, 8, 16}
+	if testing.Short() || raceEnabled {
+		hostCounts = []int{4, 8}
+	}
+	specs := func(mode cluster.FastpathMode) []experiments.Spec {
+		var out []experiments.Spec
+		for _, h := range hostCounts {
+			out = append(out, experiments.ClosRingSpec(h, 4, mode))
+		}
+		return out
+	}
+	for _, parallel := range []int{1, 4, 8} {
+		var md, csv [2]string
+		for i, mode := range []cluster.FastpathMode{cluster.FastpathOn, cluster.FastpathOff} {
+			s := Run(specs(mode), Options{Parallel: parallel})
+			md[i] = suiteMarkdown(t, s)
+			var c strings.Builder
+			for _, r := range s.Results {
+				c.WriteString(r.Figure.CSV())
+			}
+			csv[i] = c.String()
+		}
+		if md[0] != md[1] {
+			t.Fatalf("fast-path on and off figures differ at -parallel %d; first differing line:\n%s",
+				parallel, firstDiffLine(md[0], md[1]))
+		}
+		if csv[0] != csv[1] {
+			t.Fatalf("fast-path on and off CSVs differ at -parallel %d:\n%s",
+				parallel, firstDiffLine(csv[0], csv[1]))
+		}
+	}
+}

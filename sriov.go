@@ -197,6 +197,49 @@ type (
 // NewCluster assembles hosts behind a ToR switch on one event clock.
 func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
 
+// Leaf–spine Clos fabric: the multi-tier scale-out of the single ToR, with
+// per-flow ECMP over the spines and a flow-level fluid fast-path that lets
+// steady-state flows skip per-packet events (fig30/fig31).
+type (
+	// ClosTopology describes a leaf–spine fabric shape.
+	ClosTopology = cluster.Topology
+	// ClosConfig parameterizes a Clos fabric instance.
+	ClosConfig = cluster.ClosConfig
+	// Clos is the fabric: leaf/spine switches, ECMP routing, fast-path.
+	Clos = cluster.Clos
+	// ClosFlow is one flow across the fabric.
+	ClosFlow = cluster.ClosFlow
+	// FastpathMode selects how the flow-level fast-path engages.
+	FastpathMode = cluster.FastpathMode
+	// ClosSoakResult summarizes one fabric-soak iteration.
+	ClosSoakResult = experiments.ClosSoakResult
+)
+
+// Fast-path modes.
+const (
+	FastpathAuto = cluster.FastpathAuto
+	FastpathOn   = cluster.FastpathOn
+	FastpathOff  = cluster.FastpathOff
+)
+
+// NewClos assembles a leaf–spine Clos fabric.
+func NewClos(cfg ClosConfig) (*Clos, error) { return cluster.NewClos(cfg) }
+
+// ParseFastpathMode parses the -fastpath flag values (auto|on|off).
+func ParseFastpathMode(s string) (FastpathMode, error) { return cluster.ParseFastpathMode(s) }
+
+// ClosRingExperiment builds a fig31-style single-host-count Clos ring —
+// what `sriovsim -clos` runs. Its figures are byte-identical whichever
+// fast-path mode runs them; that equality is the packet≡flow gate.
+func ClosRingExperiment(hosts, vms int, mode FastpathMode) Experiment {
+	return experiments.ClosRingSpec(hosts, vms, mode)
+}
+
+// ClosSoak runs one randomized fabric iteration (the Clos leg of `sriovsim
+// -soak`): a random leaf–spine shape and flow mix in auto fast-path mode
+// with trunk flaps, then the full fabric audit. Deterministic per seed.
+func ClosSoak(seed uint64) ClosSoakResult { return experiments.ClosSoak(seed) }
+
 // ClusterScaleExperiment builds a fig22-style scale-out sweep for a custom
 // host count and link shape — what `sriovsim -hosts/-links` runs.
 func ClusterScaleExperiment(hosts int, link LinkConfig) Experiment {
@@ -330,11 +373,11 @@ type (
 // Experiments lists every reproduced figure, sorted by id.
 func Experiments() []Experiment { return experiments.All() }
 
-// RunExperiment reproduces one figure by id ("fig06" ... "fig29", "faults").
+// RunExperiment reproduces one figure by id ("fig06" ... "fig31", "faults").
 func RunExperiment(id string) (*Figure, error) {
 	s, ok := experiments.ByID(id)
 	if !ok {
-		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig29 or faults)", id)
+		return nil, fmt.Errorf("sriov: unknown experiment %q (try fig06..fig31 or faults)", id)
 	}
 	return s.Run(), nil
 }

@@ -32,7 +32,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		"fig06", "fig07", "fig08", "fig09", "fig10", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
-		"fig26", "fig27", "fig28", "fig29",
+		"fig26", "fig27", "fig28", "fig29", "fig30", "fig31",
 	}
 	got := Experiments()
 	if len(got) != len(want) {
